@@ -1,0 +1,44 @@
+"""Fig. 7k/7l: BOOM (LargeBOOMV3) TMA for the microbenchmarks.
+
+Paper anchors: Dhrystone and CoreMark reach IPCs in the range of 2 on
+BOOM, and memcpy again stands out as Memory Bound.
+"""
+
+import pytest
+
+from repro.core import compute_tma, render_breakdown_table
+from repro.cores import LARGE_BOOM
+from repro.tools import micro_suite, run_core
+
+
+@pytest.fixture(scope="module")
+def boom_micro_results():
+    return {name: run_core(name, LARGE_BOOM) for name in micro_suite()}
+
+
+def test_fig7k_top_level(benchmark, boom_micro_results, artifact):
+    results = benchmark(
+        lambda: [compute_tma(r) for r in boom_micro_results.values()])
+    table = render_breakdown_table(
+        results, title="Fig. 7k — BOOM top-level TMA (microbenchmarks)")
+    artifact("fig7k_boom_micro_top_level", table)
+
+    by_name = {r.workload: r for r in results}
+    # "Dhrystone and Coremark have high IPCs, on BOOM in the range of 2"
+    assert by_name["dhrystone"].ipc > 1.8
+    assert by_name["coremark"].ipc > 1.8
+
+
+def test_fig7l_backend_drilldown(benchmark, boom_micro_results, artifact):
+    results = benchmark(
+        lambda: [compute_tma(r) for r in boom_micro_results.values()])
+    table = render_breakdown_table(
+        results, classes=["backend", "mem_bound", "core_bound"],
+        title="Fig. 7l — BOOM Backend drill-down (microbenchmarks)")
+    artifact("fig7l_boom_micro_backend", table)
+
+    by_name = {r.workload: r for r in results}
+    # "Memcpy again stands out for being memory bound."
+    memcpy = by_name["memcpy"]
+    assert memcpy.level2["mem_bound"] > 0.3
+    assert memcpy.level2["mem_bound"] > memcpy.level2["core_bound"]

@@ -1,0 +1,79 @@
+"""Fig. 7g-7j: BOOM (LargeBOOMV3) TMA for SPEC CPU2017 intrate proxies.
+
+Subfigure g is the top level; h/i/j drill into Frontend, Bad
+Speculation, and Backend.  Paper anchors: 525.x264_r stands out with a
+high retire rate matching its IPC; 505.mcf_r and 523.xalancbmk_r are
+almost 80% Backend Bound; Frontend remains minimal across the suite;
+Machine Clears are a small part of Bad Speculation.
+"""
+
+import pytest
+
+from repro.core import compute_tma, render_breakdown_table
+from repro.cores import LARGE_BOOM
+from repro.tools import run_core, spec_suite
+
+
+@pytest.fixture(scope="module")
+def spec_results():
+    return {name: run_core(name, LARGE_BOOM) for name in spec_suite()}
+
+
+def test_fig7g_top_level(benchmark, spec_results, artifact):
+    results = benchmark(
+        lambda: [compute_tma(r) for r in spec_results.values()])
+    table = render_breakdown_table(
+        results,
+        title="Fig. 7g — BOOM top-level TMA (SPEC CPU2017 intrate proxies)")
+    artifact("fig7g_boom_spec_top_level", table)
+
+    by_name = {r.workload: r for r in results}
+    # mcf / xalancbmk: the most Backend-bound of the suite (~80%+).
+    for name in ("505.mcf_r", "523.xalancbmk_r"):
+        assert by_name[name].level1["backend"] > 0.6
+    # x264: high retiring among the SPEC proxies.
+    x264 = by_name["525.x264_r"]
+    others = [r.level1["retiring"] for r in results
+              if r.workload not in ("525.x264_r", "548.exchange2_r")]
+    assert x264.level1["retiring"] > max(others) * 0.8
+    # Frontend remains minimal across all benchmarks.
+    assert all(r.level1["frontend"] < 0.2 for r in results)
+
+
+def test_fig7h_frontend_level2(benchmark, spec_results, artifact):
+    results = benchmark(
+        lambda: [compute_tma(r) for r in spec_results.values()])
+    table = render_breakdown_table(
+        results, classes=["frontend", "fetch_latency", "pc_resolution"],
+        title="Fig. 7h — BOOM Frontend drill-down (SPEC)")
+    artifact("fig7h_boom_spec_frontend", table)
+    by_name = {r.workload: r for r in results}
+    assert max(r.level1["frontend"] for r in results) \
+        == by_name["500.perlbench_r"].level1["frontend"]
+
+
+def test_fig7i_badspec_level2(benchmark, spec_results, artifact):
+    results = benchmark(
+        lambda: [compute_tma(r) for r in spec_results.values()])
+    table = render_breakdown_table(
+        results,
+        classes=["bad_speculation", "branch_mispredicts",
+                 "machine_clears", "recovery_bubbles"],
+        title="Fig. 7i — BOOM Bad-Speculation drill-down (SPEC)")
+    artifact("fig7i_boom_spec_badspec", table)
+    # Machine clears are a small portion of Bad Speculation overall.
+    total_bad_spec = sum(r.level1["bad_speculation"] for r in results)
+    total_clears = sum(r.level2["machine_clears"] for r in results)
+    assert total_clears < 0.2 * max(total_bad_spec, 1e-9)
+
+
+def test_fig7j_backend_level2(benchmark, spec_results, artifact):
+    results = benchmark(
+        lambda: [compute_tma(r) for r in spec_results.values()])
+    table = render_breakdown_table(
+        results, classes=["backend", "mem_bound", "core_bound"],
+        title="Fig. 7j — BOOM Backend drill-down (SPEC)")
+    artifact("fig7j_boom_spec_backend", table)
+    by_name = {r.workload: r for r in results}
+    assert by_name["505.mcf_r"].level2["mem_bound"] \
+        > by_name["548.exchange2_r"].level2["mem_bound"]

@@ -1,0 +1,51 @@
+"""Fig. 7a/7b: Rocket TMA for the microbenchmark suite.
+
+Regenerates the top-level breakdown (subfigure a) and the Backend
+drill-down (subfigure b).  Paper anchors: qsort's lost slots are
+dominated by Bad Speculation, rsort approaches ideal IPC, and memcpy is
+the Backend standout with roughly half of it Memory Bound.
+"""
+
+import pytest
+
+from repro.core import compute_tma, render_breakdown_table
+from repro.cores import ROCKET
+from repro.tools import micro_suite, run_core
+
+
+@pytest.fixture(scope="module")
+def rocket_results():
+    return {name: run_core(name, ROCKET) for name in micro_suite()}
+
+
+def test_fig7a_top_level(benchmark, rocket_results, artifact):
+    results = benchmark(
+        lambda: [compute_tma(r) for r in rocket_results.values()])
+    table = render_breakdown_table(
+        results, title="Fig. 7a — Rocket top-level TMA (microbenchmarks)")
+    artifact("fig7a_rocket_top_level", table)
+
+    by_name = {r.workload: r for r in results}
+    # qsort: Bad Speculation dominates its lost slots vs. rsort.
+    assert by_name["qsort"].level1["bad_speculation"] \
+        > 4 * by_name["rsort"].level1["bad_speculation"]
+    # rsort: near-ideal for Rocket (well above the suite median IPC).
+    assert by_name["rsort"].ipc > 0.6
+
+
+def test_fig7b_backend_drilldown(benchmark, rocket_results, artifact):
+    results = benchmark(
+        lambda: [compute_tma(r) for r in rocket_results.values()])
+    table = render_breakdown_table(
+        results, classes=["backend", "mem_bound", "core_bound"],
+        title="Fig. 7b — Rocket Backend drill-down")
+    artifact("fig7b_rocket_backend", table)
+
+    by_name = {r.workload: r for r in results}
+    memcpy = by_name["memcpy"]
+    # memcpy: the Backend standout, roughly half of it Memory Bound.
+    assert memcpy.level1["backend"] == max(
+        r.level1["backend"] for r in results if r.workload in
+        ("memcpy", "coremark", "dhrystone", "mergesort", "qsort",
+         "rsort", "towers", "median", "multiply"))
+    assert memcpy.level2["mem_bound"] > 0.3 * memcpy.level1["backend"]

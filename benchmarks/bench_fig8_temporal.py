@@ -1,0 +1,85 @@
+"""Fig. 8a/8b: temporal-TMA examples.
+
+8a — a trace excerpt where an I-cache refill and a branch-mispredict
+Recovering window overlap (the slots counter values cannot attribute).
+8b — the CDF of Recovering sequence lengths: almost every sequence is
+exactly four cycles, with a long tail (the paper traces its longest
+sequence to a fence immediately after a mispredict).
+"""
+
+import pytest
+
+from repro.cores import BoomCore, LARGE_BOOM
+from repro.trace import (boom_tma_bundle, capture_trace, length_cdf,
+                         modal_length, recovery_sequences, render_raster)
+from repro.workloads import build_trace
+
+
+@pytest.fixture(scope="module")
+def suite_recovering():
+    bundle = boom_tma_bundle(LARGE_BOOM.decode_width,
+                             LARGE_BOOM.issue_width)
+    per_workload = {}
+    for name in ("qsort", "541.leela_r", "towers", "mergesort",
+                 "500.perlbench_r"):
+        trace = build_trace(name)
+        tracer = capture_trace(BoomCore(LARGE_BOOM), trace, bundle)
+        per_workload[name] = {field.name: tracer.signal(field.name)
+                              for field in bundle.fields}
+    return per_workload
+
+
+def test_fig8a_overlap_excerpt(benchmark, suite_recovering, artifact):
+    signals = suite_recovering["mergesort"]
+
+    def find_overlap_window():
+        recovering = signals["recovering"]
+        icache = signals["icache_miss"]
+        blocked = signals["icache_blocked"]
+        for cycle in range(len(recovering)):
+            if recovering[cycle]:
+                lo = max(0, cycle - 30)
+                hi = min(len(recovering), cycle + 30)
+                if any(icache[c] or blocked[c] for c in range(lo, hi)):
+                    return cycle
+        return None
+
+    cycle = benchmark(find_overlap_window)
+    if cycle is None:
+        pytest.skip("no I$/Recovering overlap in this trace")
+    raster = render_raster(
+        signals, ["icache_miss", "icache_blocked", "recovering",
+                  "fetch_bubbles", "br_mispredict"],
+        max(0, cycle - 25), cycle + 25)
+    artifact("fig8a_overlap_excerpt",
+             "Fig. 8a — I$ refill overlapping a Recovering window\n"
+             + raster)
+
+
+def test_fig8b_recovery_cdf(benchmark, suite_recovering, artifact):
+    def collect_lengths():
+        lengths = []
+        for signals in suite_recovering.values():
+            for sequence in recovery_sequences(signals["recovering"]):
+                lengths.append(sequence.length)
+        return lengths
+
+    lengths = benchmark(collect_lengths)
+    assert lengths
+    cdf = length_cdf(lengths)
+    mode = modal_length(lengths)
+    lines = ["Fig. 8b — CDF of Recovering sequence lengths "
+             f"({len(lengths)} sequences across 5 benchmarks)"]
+    for length, fraction in cdf[:12]:
+        bar = "#" * int(40 * fraction)
+        lines.append(f"  len={length:>3d}  {100 * fraction:6.2f}%  {bar}")
+    if cdf[-1][0] > cdf[min(11, len(cdf) - 1)][0]:
+        lines.append(f"  ... tail up to len={cdf[-1][0]}")
+    lines.append(f"modal length: {mode} cycles "
+                 "(paper: almost every sequence is exactly 4)")
+    artifact("fig8b_recovery_cdf", "\n".join(lines))
+
+    assert mode == 4
+    at_mode = dict(cdf).get(4, 0.0)
+    assert at_mode > 0.5          # the bulk of sequences are <= 4 cycles
+    assert max(lengths) > 4       # and a long tail exists

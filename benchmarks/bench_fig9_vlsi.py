@@ -1,0 +1,91 @@
+"""Fig. 9a/9b: post-placement physical-design metrics.
+
+9a — power overhead per BOOM size x counter architecture (the paper's
+worst case: +4.15% power, +1.54% area, +9.93% wirelength; all designs
+close timing at 200 MHz).
+9b — normalized longest combinational path crossing the CSR file: the
+adders implementation matches or beats distributed counters at the
+small/medium sizes, but its sequential chain loses as the core widens.
+"""
+
+import pytest
+
+from repro.cores import (ALL_BOOM_CONFIGS, GIGA_BOOM, MEDIUM_BOOM,
+                         MEGA_BOOM, SMALL_BOOM)
+from repro.vlsi import (ARCHITECTURES, single_lane_wire_reduction, sweep)
+from repro.vlsi.flow import (PAPER_AREA_CEILING, PAPER_POWER_CEILING,
+                             PAPER_WIRELENGTH_CEILING)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return sweep()
+
+
+def test_fig9a_power_area_wirelength(benchmark, artifact):
+    grid = benchmark(sweep)
+    lines = ["Fig. 9a — post-placement overheads per size x architecture",
+             f"{'config':<14s}{'arch':<13s}{'power%':>8s}{'area%':>8s}"
+             f"{'wire%':>8s}{'200MHz':>8s}"]
+    for name, per_arch in grid.items():
+        for arch, result in per_arch.items():
+            if arch == "baseline":
+                continue
+            lines.append(
+                f"{name:<14s}{arch:<13s}"
+                f"{100 * result.power_overhead:8.2f}"
+                f"{100 * result.area_overhead:8.2f}"
+                f"{100 * result.wirelength_overhead:8.2f}"
+                f"{str(result.passes_200mhz):>8s}")
+    lines.append("(paper ceilings: +4.15% power, +1.54% area, "
+                 "+9.93% wirelength; all pass 200 MHz)")
+    artifact("fig9a_overheads", "\n".join(lines))
+
+    power = max(r.power_overhead for a in grid.values()
+                for r in a.values())
+    area = max(r.area_overhead for a in grid.values() for r in a.values())
+    wires = max(r.wirelength_overhead for a in grid.values()
+                for r in a.values())
+    assert power <= PAPER_POWER_CEILING + 1e-9
+    assert area <= PAPER_AREA_CEILING + 1e-9
+    assert wires <= PAPER_WIRELENGTH_CEILING + 1e-9
+    assert all(r.passes_200mhz for a in grid.values() for r in a.values())
+
+
+def test_fig9b_longest_csr_path(benchmark, grid, artifact):
+    def normalized_paths():
+        rows = {}
+        for config in ALL_BOOM_CONFIGS:
+            per_arch = grid[config.name]
+            base = per_arch["baseline"]
+            rows[config.name] = {
+                arch: per_arch[arch].normalized_csr_path(base)
+                for arch in ARCHITECTURES}
+        return rows
+
+    rows = benchmark(normalized_paths)
+    lines = ["Fig. 9b — normalized longest CSR-crossing path",
+             f"{'config':<14s}" + "".join(f"{a:>13s}"
+                                          for a in ARCHITECTURES)]
+    for name, per_arch in rows.items():
+        lines.append(f"{name:<14s}" + "".join(
+            f"{per_arch[a]:13.3f}" for a in ARCHITECTURES))
+    lines.append("(paper: adders <= distributed at small/medium; the "
+                 "adder chain scales worse as width grows)")
+    artifact("fig9b_longest_csr_path", "\n".join(lines))
+
+    for config in (SMALL_BOOM, MEDIUM_BOOM):
+        assert rows[config.name]["adders"] \
+            <= rows[config.name]["distributed"] + 1e-9
+    for config in (MEGA_BOOM, GIGA_BOOM):
+        assert rows[config.name]["distributed"] \
+            < rows[config.name]["adders"]
+
+
+def test_fig9_single_lane_wire_study(benchmark, artifact):
+    reduction = benchmark(single_lane_wire_reduction, MEGA_BOOM)
+    artifact("fig9_single_lane_wire",
+             f"§V-A — longest fetch-bubble PMU wire shrinks by "
+             f"{100 * reduction:.2f}% when only one lane is monitored "
+             "(paper: 11.39%)")
+    assert 0.03 < reduction < 0.35

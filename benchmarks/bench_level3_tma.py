@@ -1,0 +1,60 @@
+"""Extension bench: third-level TMA + TLB accounting (paper future work).
+
+The paper's conclusion promises third/fourth TMA levels and TLB-aware
+classes as future work; this bench exercises the reproduction's
+implementation: the Memory-Bound drill-down must separate DRAM-bound
+streaming (memcpy) from L1/L2-resident probing (deepsjeng), and the TLB
+bound must stay negligible for these small-page-set kernels (the paper's
+justification for deferring TLBs).
+"""
+
+import pytest
+
+from repro.core import compute_level3
+from repro.cores import LARGE_BOOM, ROCKET
+from repro.tools import run_core
+
+
+@pytest.fixture(scope="module")
+def level3_results():
+    return {
+        "memcpy": compute_level3(run_core("memcpy", LARGE_BOOM)),
+        "531.deepsjeng_r": compute_level3(
+            run_core("531.deepsjeng_r", LARGE_BOOM)),
+        "505.mcf_r": compute_level3(run_core("505.mcf_r", LARGE_BOOM)),
+        "rocket-coremark": compute_level3(run_core("coremark", ROCKET)),
+    }
+
+
+def test_level3_memory_drilldown(benchmark, level3_results, artifact):
+    rendered = benchmark(
+        lambda: "\n\n".join(r.render()
+                            for r in level3_results.values()))
+    artifact("level3_tma_extension",
+             "Extension — level-3 TMA (future work of §VII)\n\n"
+             + rendered)
+
+    memcpy = level3_results["memcpy"]
+    deepsjeng = level3_results["531.deepsjeng_r"]
+    mcf = level3_results["505.mcf_r"]
+    # Streaming/cold kernels are DRAM-bound at level 3...
+    assert memcpy.dram_bound > memcpy.l2_bound
+    assert mcf.dram_bound > 0.4
+    # ...while the 24 KiB table stays near the core (little DRAM).
+    assert deepsjeng.dram_bound < mcf.dram_bound
+
+
+def test_level3_tlb_bound_negligible(level3_results):
+    """These kernels touch few pages: TLB-bound must be tiny, which is
+    the paper's rationale for deferring TLB classes."""
+    for result in level3_results.values():
+        assert result.tlb_bound < 0.05
+
+
+def test_level3_rocket_core_breakdown(level3_results):
+    rocket = level3_results["rocket-coremark"]
+    assert rocket.core_breakdown
+    # CoreMark on Rocket: load-use + mul/div interlocks carry the
+    # Core-Bound share (the CS3 mechanism).
+    assert rocket.core_breakdown["load-use"] > 0.01
+    assert rocket.core_breakdown["mul/div"] > 0.01

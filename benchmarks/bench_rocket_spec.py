@@ -1,0 +1,71 @@
+"""Extension bench: SPEC proxies on Rocket + in-order vs OoO speedups.
+
+Table III runs SPEC on both cores (Rocket with the smaller ``test``
+inputs); the paper's Fig. 7 only plots the BOOM side.  This bench fills
+in the Rocket table and derives the BOOM-over-Rocket speedup per proxy —
+the sanity check that out-of-order speculation pays off most where
+Rocket stalls serially (pointer chases) and least where the bottleneck
+is pure bandwidth or unpredictable branches.
+"""
+
+import pytest
+
+from repro.core import compute_tma, render_breakdown_table
+from repro.cores import LARGE_BOOM, ROCKET
+from repro.tools import run_core, spec_suite
+
+
+@pytest.fixture(scope="module")
+def spec_on_both():
+    rocket = {name: run_core(name, ROCKET, scale=0.5)
+              for name in spec_suite()}
+    boom = {name: run_core(name, LARGE_BOOM, scale=0.5)
+            for name in spec_suite()}
+    return rocket, boom
+
+
+def test_rocket_spec_table(benchmark, spec_on_both, artifact):
+    rocket, _ = spec_on_both
+    results = benchmark(
+        lambda: [compute_tma(result) for result in rocket.values()])
+    table = render_breakdown_table(
+        results,
+        title="Extension — Rocket top-level TMA (SPEC proxies, "
+              "test-sized inputs)")
+    artifact("rocket_spec_top_level", table)
+    by_name = {r.workload: r for r in results}
+    # The memory-bound proxies stay memory bound on the in-order core.
+    assert by_name["505.mcf_r"].level1["backend"] > 0.6
+    assert by_name["505.mcf_r"].level2["mem_bound"] > 0.5
+
+
+def test_boom_speedup_over_rocket(benchmark, spec_on_both, artifact):
+    rocket, boom = spec_on_both
+
+    def speedups():
+        rows = {}
+        for name in rocket:
+            rows[name] = rocket[name].cycles / boom[name].cycles
+        return rows
+
+    rows = benchmark(speedups)
+    lines = ["Extension — LargeBOOMV3 speedup over Rocket (SPEC proxies)"]
+    for name, speedup in sorted(rows.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:<18s}{speedup:6.2f}x")
+    artifact("rocket_vs_boom_speedup", "\n".join(lines))
+
+    # OoO must help everywhere...
+    assert all(speedup > 1.0 for speedup in rows.values())
+    # ...most on ILP/MLP-rich compute (exchange2's recursion and mcf's
+    # dual pointer chains both beat the bandwidth-limited extremes).
+    assert rows["548.exchange2_r"] > rows["557.xz_r"]
+
+
+def test_memory_bound_workloads_stay_memory_bound_across_cores(
+        spec_on_both):
+    rocket, boom = spec_on_both
+    for name in ("505.mcf_r", "523.xalancbmk_r"):
+        rocket_tma = compute_tma(rocket[name])
+        boom_tma = compute_tma(boom[name])
+        assert rocket_tma.dominant_class() == "backend"
+        assert boom_tma.dominant_class() == "backend"

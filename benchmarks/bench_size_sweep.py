@@ -1,0 +1,70 @@
+"""Extension bench: TMA across all five BOOM sizes (Table IV).
+
+The paper shows TMA only for LargeBOOMV3 "for brevity"; the simulator
+makes the full Small→Giga sweep cheap.  Expected shapes: compute-bound
+kernels scale with machine width while the bandwidth-bound memcpy does
+not, and widening the machine shifts memcpy's classification further
+toward Memory Bound (the same work, more wasted slots).
+"""
+
+import pytest
+
+from repro.core import compute_tma, render_breakdown_table
+from repro.cores import ALL_BOOM_CONFIGS
+from repro.tools import run_core
+
+WORKLOADS = ("dhrystone", "memcpy", "qsort")
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    grid = {}
+    for config in ALL_BOOM_CONFIGS:
+        for name in WORKLOADS:
+            grid[(config.name, name)] = run_core(name, config)
+    return grid
+
+
+def test_size_sweep_tables(benchmark, sweep_results, artifact):
+    def render():
+        blocks = []
+        for name in WORKLOADS:
+            results = [compute_tma(sweep_results[(c.name, name)])
+                       for c in ALL_BOOM_CONFIGS]
+            for result, config in zip(results, ALL_BOOM_CONFIGS):
+                result.workload = config.name  # row label = size
+            blocks.append(render_breakdown_table(
+                results, title=f"--- {name} across BOOM sizes ---"))
+        return "\n\n".join(blocks)
+
+    table = benchmark(render)
+    artifact("size_sweep_tma",
+             "Extension — TMA across Table IV BOOM sizes\n" + table)
+
+
+def test_compute_kernels_scale_with_width(sweep_results):
+    ipcs = [sweep_results[(c.name, "dhrystone")].ipc
+            for c in ALL_BOOM_CONFIGS]
+    # Wider machines retire dhrystone faster (within 5% slack for
+    # second-order effects like replacement noise).
+    for small, large in zip(ipcs, ipcs[1:]):
+        assert large > small * 0.95
+    assert ipcs[-1] > 1.5 * ipcs[0]
+
+
+def test_memcpy_is_bandwidth_limited_not_width_limited(sweep_results):
+    small = sweep_results[("SmallBOOMV3", "memcpy")]
+    giga = sweep_results[("GigaBOOMV3", "memcpy")]
+    # Quadrupling the commit width buys far less than 4x on memcpy.
+    assert giga.cycles > small.cycles * 0.5
+    # And the wider machine wastes a larger share of slots on memory.
+    small_tma = compute_tma(small)
+    giga_tma = compute_tma(giga)
+    assert giga_tma.level2["mem_bound"] > small_tma.level2["mem_bound"]
+
+
+def test_wide_machines_pay_more_for_mispredicts(sweep_results):
+    small = compute_tma(sweep_results[("SmallBOOMV3", "qsort")])
+    giga = compute_tma(sweep_results[("GigaBOOMV3", "qsort")])
+    assert giga.level1["bad_speculation"] \
+        > small.level1["bad_speculation"]

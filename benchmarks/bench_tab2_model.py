@@ -1,0 +1,51 @@
+"""Table II: the TMA model itself, exercised on real counter values.
+
+Regenerates the derived metrics and every top-/lower-level class for a
+representative run, and times the model evaluation (it must be cheap —
+it is meant to run over live counters).
+"""
+
+import pytest
+
+from repro.core import BoomTmaModel, TmaInputs, compute_tma
+from repro.cores import LARGE_BOOM
+from repro.tools import run_core
+
+
+@pytest.fixture(scope="module")
+def qsort_inputs():
+    return TmaInputs.from_core_result(run_core("qsort", LARGE_BOOM))
+
+
+def test_tab2_model_rows(benchmark, qsort_inputs, artifact):
+    result = benchmark(BoomTmaModel().compute, qsort_inputs)
+    lines = ["Table II — TMA model evaluated on qsort @ LargeBOOMV3",
+             "-- derived metrics --"]
+    for name, value in result.metrics.items():
+        lines.append(f"{name:<12s}{value:14.4f}")
+    lines.append("-- top-level --")
+    for name, value in result.level1.items():
+        lines.append(f"{name:<18s}{100 * value:8.2f}%")
+    lines.append("-- lower-level --")
+    for name, value in result.level2.items():
+        lines.append(f"{name:<18s}{100 * value:8.2f}%")
+    artifact("tab2_tma_model", "\n".join(lines))
+
+    assert result.top_level_sum() == pytest.approx(1.0)
+    assert result.metrics["m_rl"] == 4.0
+    # Lower-level Bad Speculation components relate as Table II states:
+    # BrMispred = Resteer + RecovBub.
+    assert result.level2["branch_mispredicts"] == pytest.approx(
+        result.level2["resteering"] + result.level2["recovery_bubbles"])
+    # Backend = CoreBound + MemBound.
+    assert result.level1["backend"] == pytest.approx(
+        result.level2["core_bound"] + result.level2["mem_bound"])
+    # Frontend = FetchLat + PCRes.
+    assert result.level1["frontend"] == pytest.approx(
+        result.level2["fetch_latency"] + result.level2["pc_resolution"])
+
+
+def test_tab2_model_is_cheap(benchmark, qsort_inputs):
+    """The model is a handful of arithmetic ops over counter values."""
+    result = benchmark(compute_tma, qsort_inputs)
+    assert result.cycles > 0

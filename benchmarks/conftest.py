@@ -1,0 +1,50 @@
+"""Shared infrastructure for the per-figure/table benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  The
+rendered rows/series are written to ``benchmarks/out/<artifact>.txt``
+and echoed into the terminal summary, so a plain
+
+    pytest benchmarks/ --benchmark-only
+
+leaves both the timing table and the reproduced artifacts on screen and
+on disk.  Heavy simulations go through the disk-cached
+:func:`repro.tools.run_core` pipeline, so the ``benchmark`` fixture
+times the analysis/model step, not a redundant re-simulation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+_artifacts: Dict[str, str] = {}
+
+
+def write_artifact(name: str, text: str) -> Path:
+    """Persist a rendered table/figure and register it for the summary."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    _artifacts[name] = text
+    return path
+
+
+@pytest.fixture
+def artifact():
+    """Fixture handing benches the artifact writer."""
+    return write_artifact
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _artifacts:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for name in sorted(_artifacts):
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(_artifacts[name])
+    terminalreporter.write_line(
+        f"(artifacts also written to {OUT_DIR}/)")

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""TMA across all five Table IV BOOM sizes for one workload.
+
+The paper shows LargeBOOMV3 only "for brevity"; the simulator makes the
+whole Small -> Giga sweep a one-liner.  Watch the Bad-Speculation share
+grow with machine width on branchy code (wider flushes waste more
+slots), or run it on ``memcpy`` to see a bandwidth wall instead.
+
+Usage::
+
+    python examples/boom_size_sweep.py [workload]
+"""
+
+import sys
+
+from repro.core import compute_tma, render_breakdown_table
+from repro.cores import ALL_BOOM_CONFIGS
+from repro.tools import run_core
+from repro.workloads import workload_names
+
+
+def main() -> int:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "qsort"
+    if workload not in workload_names():
+        print(f"unknown workload {workload!r}")
+        return 1
+    results = []
+    for config in ALL_BOOM_CONFIGS:
+        result = compute_tma(run_core(workload, config))
+        result.workload = config.name   # use the size as the row label
+        results.append(result)
+    print(render_breakdown_table(
+        results, title=f"{workload} across the Table IV BOOM sizes"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

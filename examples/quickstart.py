@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: Top-Down analysis of one workload on both cores.
+
+Runs the bundled ``mergesort`` microbenchmark through the Rocket
+(in-order) and LargeBOOMV3 (out-of-order) timing models and prints the
+perf-tool style TMA report for each — the one-call workflow the Icicle
+software stack provides.
+
+Usage::
+
+    python examples/quickstart.py [workload]
+
+Any name from ``repro.workloads.workload_names()`` works, e.g.
+``qsort``, ``memcpy``, or ``505.mcf_r``.
+"""
+
+import sys
+
+from repro.core import render_result
+from repro.cores import LARGE_BOOM, ROCKET
+from repro.tools import run_tma
+from repro.workloads import workload_names
+
+
+def main() -> int:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mergesort"
+    if workload not in workload_names():
+        print(f"unknown workload {workload!r}; available:")
+        for name in workload_names():
+            print(f"  {name}")
+        return 1
+
+    print(f"=== {workload} on Rocket (in-order) ===")
+    print(render_result(run_tma(workload, ROCKET)))
+    print()
+    print(f"=== {workload} on LargeBOOMV3 (out-of-order) ===")
+    print(render_result(run_tma(workload, LARGE_BOOM)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Microarchitectural tracing and temporal TMA (§IV-C, §V-B).
+
+Captures a per-cycle event trace of qsort on BOOM, serializes it through
+the TracerV-style binary bridge, decodes it with the DMA reader, and
+then:
+
+- renders a Fig. 3-style raster around the first branch mispredict,
+- extracts the Recovering-sequence CDF (Fig. 8b),
+- computes the temporal TMA classification and compares it with the
+  counter-based model,
+- bounds the Frontend / Bad-Speculation overlap (Table VI).
+
+Usage::
+
+    python examples/temporal_trace.py
+"""
+
+from repro.core import compute_tma
+from repro.cores import BoomCore, LARGE_BOOM
+from repro.tools import run_core
+from repro.trace import (DmaTraceReader, TraceBridge, analyze_overlap,
+                         boom_tma_bundle, capture_trace, find_first,
+                         length_cdf, modal_length, recovery_sequences,
+                         render_raster, temporal_tma,
+                         validate_against_counters)
+from repro.workloads import build_trace
+
+WORKLOAD = "qsort"
+
+
+def main() -> int:
+    bundle = boom_tma_bundle(LARGE_BOOM.decode_width,
+                             LARGE_BOOM.issue_width)
+    trace = build_trace(WORKLOAD)
+    tracer = capture_trace(BoomCore(LARGE_BOOM), trace, bundle)
+
+    blob = TraceBridge(bundle).encode(tracer)
+    print(f"trace: {len(tracer)} cycles -> {len(blob)} bytes over the "
+          "bridge")
+    signals = DmaTraceReader(blob).signals()
+
+    miss = find_first(signals, "br_mispredict")
+    if miss is not None:
+        print()
+        print(render_raster(
+            signals, ["br_mispredict", "recovering", "fetch_bubbles",
+                      "uops_issued", "uops_retired"],
+            max(0, miss - 5), miss + 25))
+
+    lengths = [s.length for s in
+               recovery_sequences(signals["recovering"])]
+    print()
+    print(f"recovering sequences: {len(lengths)}; modal length "
+          f"{modal_length(lengths)} cycles (the model's M_rl)")
+    for length, fraction in length_cdf(lengths)[:6]:
+        print(f"  len={length:<4d} cdf={100 * fraction:6.2f}%")
+
+    temporal = temporal_tma(signals, LARGE_BOOM.decode_width)
+    counters = compute_tma(run_core(WORKLOAD, LARGE_BOOM))
+    print()
+    print("temporal TMA vs counter TMA (|delta| per class):")
+    for name, delta in validate_against_counters(
+            temporal, counters.level1).items():
+        trace_value = temporal.fractions()[name]
+        counter_value = counters.level1[name]
+        print(f"  {name:<16s} trace={100 * trace_value:6.2f}%  "
+              f"counters={100 * counter_value:6.2f}%  "
+              f"|delta|={100 * delta:5.2f}%")
+
+    print()
+    print(analyze_overlap(signals, LARGE_BOOM.decode_width).render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

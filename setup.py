@@ -1,0 +1,6 @@
+"""Setup shim for environments whose pip cannot do PEP 660 editable installs
+(no `wheel` package offline). `pip install -e .` falls back to this via
+`python setup.py develop`."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Icicle reproduction: Top-Down Microarchitectural Analysis on simulated
+Rocket and BOOM RISC-V cores.
+
+The public API mirrors the paper's full system stack:
+
+- :mod:`repro.isa` — RV64-subset ISA, assembler and functional executor.
+- :mod:`repro.uarch` — caches, branch predictors, TLBs, buffers.
+- :mod:`repro.cores` — cycle-level Rocket (in-order) and BOOM (OoO) models.
+- :mod:`repro.pmu` — performance events, counter architectures, CSR file,
+  and the perf software harness.
+- :mod:`repro.core` — the TMA model itself (the paper's contribution).
+- :mod:`repro.trace` — per-cycle microarchitectural tracing and the
+  temporal-TMA analyzer.
+- :mod:`repro.vlsi` — the physical-design overhead model.
+- :mod:`repro.workloads` — microbenchmarks and SPEC CPU2017 proxies.
+- :mod:`repro.tools` — the one-call ``tma_tool`` pipeline.
+
+Quickstart::
+
+    from repro.tools import run_tma
+    from repro.cores import LARGE_BOOM
+
+    report = run_tma("mergesort", LARGE_BOOM)
+    print(report.render())
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,49 @@
+"""The paper's primary contribution: the TMA model and its analyses."""
+
+from .export import (SCHEMA_VERSION, from_json, result_to_dict, to_csv,
+                     to_json)
+from .extensions import Level3Result, compute_level3
+from .hierarchy import TmaNode, build_tree, render_tree
+from .perlane import (LaneApproximation, PER_LANE_EVENTS, PerLaneRates,
+                      frontend_error_of_lane_approx,
+                      frontend_point_error_of_lane_approx, per_lane_rates,
+                      render_table5, single_lane_approximation)
+from .report import (format_percent, render_bar, render_breakdown_table,
+                     render_comparison, render_result)
+from .tma import (BOOM_RECOVER_LENGTH, BoomTmaModel, ROCKET_RECOVER_LENGTH,
+                  RocketTmaModel, TOP_LEVEL, TmaInputs, TmaResult,
+                  compute_tma)
+
+__all__ = [
+    "BOOM_RECOVER_LENGTH",
+    "Level3Result",
+    "SCHEMA_VERSION",
+    "TmaNode",
+    "build_tree",
+    "compute_level3",
+    "render_tree",
+    "BoomTmaModel",
+    "LaneApproximation",
+    "PER_LANE_EVENTS",
+    "PerLaneRates",
+    "ROCKET_RECOVER_LENGTH",
+    "RocketTmaModel",
+    "TOP_LEVEL",
+    "TmaInputs",
+    "TmaResult",
+    "compute_tma",
+    "format_percent",
+    "from_json",
+    "result_to_dict",
+    "to_csv",
+    "to_json",
+    "frontend_error_of_lane_approx",
+    "frontend_point_error_of_lane_approx",
+    "per_lane_rates",
+    "render_bar",
+    "render_breakdown_table",
+    "render_comparison",
+    "render_result",
+    "render_table5",
+    "single_lane_approximation",
+]

@@ -1,0 +1,96 @@
+"""Machine-readable exports of TMA results (JSON / CSV).
+
+The artifact's ``tma_tool`` writes plot data alongside its figures; the
+reproduction's equivalent is a stable JSON schema (one document per
+result, or a list for suites) and a flat CSV for spreadsheet users.
+Schema stability is covered by tests, so downstream tooling can depend
+on the field names.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .extensions import Level3Result
+from .tma import TOP_LEVEL, TmaResult
+
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: TmaResult,
+                   level3: Optional[Level3Result] = None) -> Dict:
+    """Serialize one TMA result to a stable JSON-compatible dict."""
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "workload": result.workload,
+        "config": result.config_name,
+        "core": result.core,
+        "cycles": result.cycles,
+        "commit_width": result.commit_width,
+        "instret": result.inputs.count("instr_retired"),
+        "ipc": result.ipc,
+        "level1": dict(result.level1),
+        "level2": dict(result.level2),
+        "metrics": dict(result.metrics),
+        "events": dict(result.inputs.events),
+    }
+    if level3 is not None:
+        payload["level3"] = {
+            "l1_bound": level3.l1_bound,
+            "l2_bound": level3.l2_bound,
+            "dram_bound": level3.dram_bound,
+            "tlb_bound": level3.tlb_bound,
+            "core_breakdown": dict(level3.core_breakdown),
+        }
+    return payload
+
+
+def to_json(results: Sequence[TmaResult], indent: int = 2) -> str:
+    """Serialize one or more results to a JSON document."""
+    payload = [result_to_dict(result) for result in results]
+    return json.dumps(payload[0] if len(payload) == 1 else payload,
+                      indent=indent, sort_keys=True)
+
+
+def from_json(document: str) -> List[Dict]:
+    """Parse an exported document back into dicts (schema-checked)."""
+    payload = json.loads(document)
+    items = payload if isinstance(payload, list) else [payload]
+    for item in items:
+        version = item.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported schema version {version!r} "
+                f"(expected {SCHEMA_VERSION})")
+    return items
+
+
+def to_csv(results: Sequence[TmaResult]) -> str:
+    """Flat CSV: one row per result, top-level + level-2 columns."""
+    if not results:
+        return ""
+    level2_columns = sorted(
+        {name for result in results for name in result.level2})
+    fieldnames = (["workload", "config", "core", "cycles", "instret",
+                   "ipc"] + list(TOP_LEVEL) + level2_columns)
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=fieldnames)
+    writer.writeheader()
+    for result in results:
+        row = {
+            "workload": result.workload,
+            "config": result.config_name,
+            "core": result.core,
+            "cycles": result.cycles,
+            "instret": result.inputs.count("instr_retired"),
+            "ipc": f"{result.ipc:.4f}",
+        }
+        for name in TOP_LEVEL:
+            row[name] = f"{result.level1[name]:.6f}"
+        for name in level2_columns:
+            row[name] = f"{result.level2.get(name, 0.0):.6f}"
+        writer.writerow(row)
+    return out.getvalue()

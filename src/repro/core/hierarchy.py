@@ -1,0 +1,121 @@
+"""Hierarchical TMA view: the Fig. 5 class tree as a data structure.
+
+``render_result`` prints flat level-1/level-2 tables; profiling UIs
+(VTune, AMD uProf) present TMA as an expandable tree instead.  This
+module assembles :class:`~repro.core.tma.TmaResult` (and optionally the
+level-3 extension) into a :class:`TmaNode` tree that supports drill-down
+queries and an indented ASCII rendering:
+
+    Backend  55.5%
+      MemBound  56.5%
+        DRAM-bound  54.8%
+        ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .extensions import Level3Result
+from .tma import TmaResult
+
+
+@dataclass
+class TmaNode:
+    """One class in the TMA hierarchy."""
+
+    name: str
+    fraction: float
+    children: List["TmaNode"] = field(default_factory=list)
+
+    def child(self, name: str) -> "TmaNode":
+        for node in self.children:
+            if node.name == name:
+                return node
+        raise KeyError(f"{self.name} has no child {name!r}")
+
+    def walk(self):
+        """Yield (depth, node) in pre-order."""
+        stack = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            for child in reversed(node.children):
+                stack.append((depth + 1, child))
+
+    def dominant_path(self) -> List["TmaNode"]:
+        """Follow the largest child at every level (the drill-down a
+        performance engineer would take)."""
+        path = [self]
+        node = self
+        while node.children:
+            node = max(node.children, key=lambda n: n.fraction)
+            path.append(node)
+        return path
+
+    def render(self, width: int = 28) -> str:
+        lines = []
+        for depth, node in self.walk():
+            if depth == 0:
+                continue  # skip the synthetic root
+            indent = "  " * (depth - 1)
+            label = f"{indent}{node.name}"
+            lines.append(f"{label:<{width}s}{100 * node.fraction:7.2f}%")
+        return "\n".join(lines)
+
+
+def build_tree(result: TmaResult,
+               level3: Optional[Level3Result] = None) -> TmaNode:
+    """Assemble the Fig. 5 hierarchy (plus optional level-3 leaves)."""
+    root = TmaNode("slots", 1.0)
+    retiring = TmaNode("Retiring", result.level1["retiring"])
+    bad_spec = TmaNode("BadSpeculation",
+                       result.level1["bad_speculation"])
+    frontend = TmaNode("Frontend", result.level1["frontend"])
+    backend = TmaNode("Backend", result.level1["backend"])
+    root.children = [retiring, bad_spec, frontend, backend]
+
+    level2 = result.level2
+    if result.core == "boom":
+        bad_spec.children = [
+            TmaNode("MachineClears", level2["machine_clears"]),
+            TmaNode("BranchMispredicts", level2["branch_mispredicts"]),
+        ]
+        bad_spec.child("BranchMispredicts").children = [
+            TmaNode("Resteering", level2["resteering"]),
+            TmaNode("RecoveryBubbles", level2["recovery_bubbles"]),
+        ]
+    frontend.children = [
+        TmaNode("FetchLatency", level2["fetch_latency"]),
+        TmaNode("PCResolution", level2["pc_resolution"]),
+    ]
+    mem = TmaNode("MemBound", level2["mem_bound"])
+    core = TmaNode("CoreBound", level2["core_bound"])
+    backend.children = [core, mem]
+
+    if result.core == "rocket":
+        core.children = [
+            TmaNode("LoadUse", level2["load_use_interlock"]),
+            TmaNode("MulDiv", level2["muldiv_interlock"]),
+            TmaNode("LongLatency", level2["long_latency_interlock"]),
+        ]
+
+    if level3 is not None:
+        mem.children = [
+            TmaNode("L1-bound", level3.l1_bound),
+            TmaNode("L2-bound", level3.l2_bound),
+            TmaNode("DRAM-bound", level3.dram_bound),
+        ]
+        backend.children.append(
+            TmaNode("TLB-bound*", level3.tlb_bound))
+    return root
+
+
+def render_tree(result: TmaResult,
+                level3: Optional[Level3Result] = None) -> str:
+    """One-call hierarchical report."""
+    root = build_tree(result, level3=level3)
+    header = (f"TMA hierarchy: {result.workload} on "
+              f"{result.config_name} (IPC {result.ipc:.3f})")
+    return header + "\n" + root.render()

@@ -1,0 +1,118 @@
+"""Per-lane event study (Table V and the §V-A approximation analysis).
+
+The paper models Fetch-bubbles, D$-blocked and Uops-issued as per-lane
+events and asks how much accuracy is lost by monitoring only one lane.
+Fetch-bubble lanes are correlated (lane 0 fires least — it only fires
+when the frontend supplied nothing at all), so the lightweight heuristic
+``total ~ W_C * lane0`` lands within about ±10% of the full per-lane
+model's Frontend category.  Uops-issued and D$-blocked lanes are *not*
+symmetric (only the last queue handles FP µops), so the same trick fails
+for them — exactly the paper's conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..cores.base import CoreResult
+
+PER_LANE_EVENTS = ("fetch_bubbles", "dcache_blocked", "uops_issued")
+
+
+@dataclass
+class PerLaneRates:
+    """Per-lane event rates (events per total cycle), one workload."""
+
+    workload: str
+    cycles: int
+    rates: Dict[str, List[float]]
+
+    def lane_rate(self, event: str, lane: int) -> float:
+        lanes = self.rates.get(event, [])
+        return lanes[lane] if lane < len(lanes) else 0.0
+
+
+def per_lane_rates(result: CoreResult,
+                   events: Sequence[str] = PER_LANE_EVENTS,
+                   lane_counts: Optional[Dict[str, int]] = None
+                   ) -> PerLaneRates:
+    """Table V rows: per-lane totals normalized by total cycles."""
+    cycles = max(1, result.cycles)
+    lane_counts = lane_counts or {}
+    rates: Dict[str, List[float]] = {}
+    for event in events:
+        lanes = list(result.lanes(event))
+        want = lane_counts.get(event, 0)
+        while len(lanes) < want:
+            lanes.append(0)
+        rates[event] = [count / cycles for count in lanes]
+    return PerLaneRates(workload=result.workload, cycles=result.cycles,
+                        rates=rates)
+
+
+@dataclass
+class LaneApproximation:
+    """Single-lane approximation vs. the full per-lane event."""
+
+    event: str
+    exact_total: int
+    approx_total: float
+    lanes_used: int
+
+    @property
+    def relative_error(self) -> float:
+        if self.exact_total == 0:
+            return 0.0 if self.approx_total == 0 else float("inf")
+        return (self.approx_total - self.exact_total) / self.exact_total
+
+
+def single_lane_approximation(result: CoreResult, event: str,
+                              lane: int = 0) -> LaneApproximation:
+    """Approximate the event total as ``num_lanes * lane_count``.
+
+    For ``fetch_bubbles`` on a 3-wide BOOM this is the paper's
+    ``3 x Fetch-bubble1`` heuristic.
+    """
+    lanes = result.lanes(event)
+    width = max(len(lanes), result.commit_width)
+    lane_count = lanes[lane] if lane < len(lanes) else 0
+    return LaneApproximation(
+        event=event, exact_total=result.event(event),
+        approx_total=float(width * lane_count), lanes_used=width)
+
+
+def frontend_error_of_lane_approx(result: CoreResult) -> float:
+    """Relative error in the Frontend TMA category when Fetch-bubbles is
+    approximated from its least-firing lane (§V-A: within about ±10%)."""
+    approx = single_lane_approximation(result, "fetch_bubbles", lane=0)
+    exact_frontend = result.event("fetch_bubbles")
+    if exact_frontend == 0:
+        return 0.0
+    return (approx.approx_total - exact_frontend) / exact_frontend
+
+
+def frontend_point_error_of_lane_approx(result: CoreResult) -> float:
+    """The same approximation error expressed in percentage points of
+    total slots (how far the Frontend *category* moves)."""
+    approx = single_lane_approximation(result, "fetch_bubbles", lane=0)
+    slots = max(1, result.cycles * result.commit_width)
+    return (approx.approx_total - result.event("fetch_bubbles")) / slots
+
+
+def render_table5(rows: Sequence[PerLaneRates],
+                  lane_counts: Dict[str, int]) -> str:
+    """Render Table V: per-lane events per total cycles."""
+    events = list(lane_counts)
+    header = f"{'Benchmark':<18s}"
+    for event in events:
+        for lane in range(lane_counts[event]):
+            header += f"{event[:4]}{lane:>2d} "
+    lines = [header]
+    for row in rows:
+        cells = [f"{row.workload:<18.18s}"]
+        for event in events:
+            for lane in range(lane_counts[event]):
+                cells.append(f"{row.lane_rate(event, lane):6.2f} ")
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Rendering helpers: the ``tma_tool`` text output (tables + bars).
+
+FireSim plots become ASCII in this reproduction: every figure in the
+bench suite renders through these helpers, so the rows/series the paper
+reports can be regenerated and eyeballed from a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .tma import TOP_LEVEL, TmaResult
+
+_BAR_WIDTH = 40
+_CLASS_LABELS = {
+    "retiring": "Retiring",
+    "bad_speculation": "BadSpec",
+    "frontend": "Frontend",
+    "backend": "Backend",
+    "machine_clears": "MachClears",
+    "branch_mispredicts": "BrMispred",
+    "resteering": "Resteer",
+    "recovery_bubbles": "RecovBub",
+    "fetch_latency": "FetchLat",
+    "pc_resolution": "PCRes",
+    "mem_bound": "MemBound",
+    "core_bound": "CoreBound",
+    "load_use_interlock": "LdUse",
+    "muldiv_interlock": "MulDiv",
+    "long_latency_interlock": "LongLat",
+}
+
+
+def _clamp(fraction: float) -> float:
+    return max(0.0, min(1.0, fraction))
+
+
+def format_percent(fraction: float) -> str:
+    return f"{100.0 * fraction:6.2f}%"
+
+
+def render_bar(fractions: Dict[str, float], width: int = _BAR_WIDTH) -> str:
+    """One stacked top-level bar: R=Retiring B=BadSpec F=Frontend D=Backend."""
+    glyphs = {"retiring": "R", "bad_speculation": "B", "frontend": "F",
+              "backend": "D"}
+    cells: List[str] = []
+    for name in TOP_LEVEL:
+        count = round(_clamp(fractions.get(name, 0.0)) * width)
+        cells.append(glyphs[name] * count)
+    bar = "".join(cells)[:width]
+    return "|" + bar.ljust(width, ".") + "|"
+
+
+def render_result(result: TmaResult, show_level2: bool = True) -> str:
+    """Full per-workload report (the perf-tool view)."""
+    lines = [
+        f"TMA: {result.workload} on {result.config_name} "
+        f"({result.core}, W_C={result.commit_width})",
+        f"  cycles={result.cycles}  "
+        f"instret={result.inputs.count('instr_retired')}  "
+        f"IPC={result.ipc:.3f}",
+        "  " + render_bar(result.level1),
+    ]
+    for name in TOP_LEVEL:
+        lines.append(f"  {_CLASS_LABELS[name]:<11s}"
+                     f"{format_percent(result.level1[name])}")
+    if show_level2:
+        lines.append("  -- level 2 --")
+        for name, value in result.level2.items():
+            label = _CLASS_LABELS.get(name, name)
+            lines.append(f"  {label:<11s}{format_percent(value)}")
+    return "\n".join(lines)
+
+
+def render_breakdown_table(results: Sequence[TmaResult],
+                           classes: Optional[Sequence[str]] = None,
+                           title: str = "") -> str:
+    """Fig. 7-style table: one row per workload, one column per class."""
+    classes = list(classes or TOP_LEVEL)
+    header_cells = [f"{_CLASS_LABELS.get(c, c):>11s}" for c in classes]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'workload':<18s}" + "".join(header_cells)
+                 + f"{'IPC':>8s}")
+    for result in results:
+        row = [f"{result.workload:<18.18s}"]
+        for cls in classes:
+            row.append(f"{format_percent(result.fraction(cls)):>11s}")
+        row.append(f"{result.ipc:8.3f}")
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_comparison(before: TmaResult, after: TmaResult,
+                      label_before: str, label_after: str,
+                      classes: Optional[Sequence[str]] = None) -> str:
+    """Case-study view: two configurations side by side with deltas."""
+    classes = list(classes or TOP_LEVEL)
+    lines = [f"{'class':<12s}{label_before:>12s}{label_after:>12s}"
+             f"{'delta':>10s}"]
+    for cls in classes:
+        b = before.fraction(cls)
+        a = after.fraction(cls)
+        lines.append(f"{_CLASS_LABELS.get(cls, cls):<12s}"
+                     f"{format_percent(b):>12s}{format_percent(a):>12s}"
+                     f"{100.0 * (a - b):>+9.2f}%")
+    speedup = (before.cycles / after.cycles) if after.cycles else 0.0
+    lines.append(f"{'cycles':<12s}{before.cycles:>12d}{after.cycles:>12d}"
+                 f"{'x%.3f' % speedup:>10s}")
+    return "\n".join(lines)

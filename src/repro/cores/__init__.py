@@ -1,0 +1,28 @@
+"""Core timing models and Table IV configurations."""
+
+from .base import (BoomConfig, CoreResult, EventAccumulator, RocketConfig,
+                   SignalObserver)
+from .boom import BoomCore
+from .configs import (ALL_BOOM_CONFIGS, CONFIGS_BY_NAME, GIGA_BOOM,
+                      LARGE_BOOM, MEDIUM_BOOM, MEGA_BOOM, ROCKET,
+                      SMALL_BOOM, config_by_name)
+from .rocket import RocketCore
+
+__all__ = [
+    "ALL_BOOM_CONFIGS",
+    "BoomConfig",
+    "BoomCore",
+    "CONFIGS_BY_NAME",
+    "CoreResult",
+    "EventAccumulator",
+    "GIGA_BOOM",
+    "LARGE_BOOM",
+    "MEDIUM_BOOM",
+    "MEGA_BOOM",
+    "ROCKET",
+    "RocketConfig",
+    "RocketCore",
+    "SMALL_BOOM",
+    "SignalObserver",
+    "config_by_name",
+]

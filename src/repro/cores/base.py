@@ -1,0 +1,173 @@
+"""Common core-model infrastructure: configs, signals, results, observers.
+
+Signal convention
+-----------------
+
+Each cycle a core produces a mapping ``{event_name: lane_bitmask}`` where
+bit *i* of the mask is the boolean signal of event source *i* in that
+cycle (single-source events use bit 0).  This is exactly the wire-level
+view the PMU counter architectures (Fig. 6) and the TracerV-style tracer
+(§IV-C) tap, so the same per-cycle dictionary drives:
+
+- the core's own aggregate event totals (fast path, always on),
+- attached :class:`SignalObserver` instances — counter-architecture
+  hardware models and the cycle tracer (slow path, opt-in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Protocol
+
+from ..uarch.branch import PredictorStats
+from ..uarch.cache import CacheConfig, CacheStats, L1D_32K
+
+
+class SignalObserver(Protocol):
+    """Anything that wants the per-cycle event signals (PMU HW, tracer)."""
+
+    def on_cycle(self, cycle: int, signals: Mapping[str, int]) -> None:
+        """Observe the lane bitmasks of every event for one cycle."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class RocketConfig:
+    """Rocket core parameters (Table IV column 1)."""
+
+    name: str = "Rocket"
+    fetch_width: int = 2
+    ibuf_entries: int = 4
+    bht_entries: int = 512
+    btb_entries: int = 28
+    l1d: CacheConfig = L1D_32K
+    # Redirect latency after a mispredict (recovery length, cycles).
+    redirect_latency: int = 3
+    core: str = "rocket"
+
+    @property
+    def commit_width(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class BoomConfig:
+    """BOOM core parameters (Table IV columns 2-6)."""
+
+    name: str
+    fetch_width: int
+    decode_width: int            # also the commit width W_C
+    rob_entries: int
+    iq_int: int
+    iq_mem: int
+    iq_fp: int
+    ldq_entries: int
+    stq_entries: int
+    mshrs: int
+    issue_int: int               # issue ports per queue; sum = W_I
+    issue_mem: int
+    issue_fp: int
+    fetch_buffer_entries: int = 0   # 0 -> 2 x fetch_width
+    btb_entries: int = 512
+    l1d: CacheConfig = L1D_32K
+    # Flush-to-first-valid-fetch latency.  The Recovering window opens
+    # the cycle after the flush, so 5 yields the dominant 4-cycle
+    # Recovering sequence of Fig. 8b (and the model's M_rl = 4).
+    redirect_latency: int = 5
+    # Next-line I$ prefetch (BOOM's frontend prefetcher); the ablation
+    # bench switches it off to expose straight-line fetch latency.
+    icache_prefetch: bool = True
+    # Direction predictor: "tage" (Table IV), "gshare", or "bimodal";
+    # the predictor-sensitivity ablation sweeps this.
+    branch_predictor: str = "tage"
+    # Optional stride data prefetcher on the L1D (off by default to
+    # match Table IV; the prefetch ablation switches it on).
+    dcache_prefetch: bool = False
+    core: str = "boom"
+
+    @property
+    def commit_width(self) -> int:
+        return self.decode_width
+
+    @property
+    def issue_width(self) -> int:
+        """Total issue width W_I."""
+        return self.issue_int + self.issue_mem + self.issue_fp
+
+    @property
+    def fetch_buffer_size(self) -> int:
+        return self.fetch_buffer_entries or 2 * self.fetch_width
+
+
+@dataclass
+class CoreResult:
+    """Everything a core run produces.
+
+    ``events`` holds total *slot* counts per event (summed over lanes and
+    cycles); ``lane_events`` holds the per-lane totals used by the
+    per-lane study (Table V).
+    """
+
+    workload: str
+    config_name: str
+    core: str
+    cycles: int
+    instret: int
+    events: Dict[str, int]
+    lane_events: Dict[str, List[int]]
+    commit_width: int
+    issue_width: int
+    l1i_stats: CacheStats
+    l1d_stats: CacheStats
+    l2_stats: CacheStats
+    predictor_stats: PredictorStats
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instret / self.cycles if self.cycles else 0.0
+
+    def event(self, name: str) -> int:
+        """Total slot count of *name* (0 when never asserted)."""
+        return self.events.get(name, 0)
+
+    def lanes(self, name: str) -> List[int]:
+        """Per-lane totals of *name* ([] when never asserted)."""
+        return self.lane_events.get(name, [])
+
+
+class EventAccumulator:
+    """Accumulates per-cycle lane bitmasks into totals and lane counts.
+
+    Per-lane totals are only maintained for the event names listed in
+    *track_lanes* (the per-lane study of Table V needs them; everything
+    else only needs aggregate slot counts).
+    """
+
+    __slots__ = ("totals", "lane_totals", "_track")
+
+    def __init__(self, track_lanes: Optional[set] = None) -> None:
+        self.totals: Dict[str, int] = {}
+        self.lane_totals: Dict[str, List[int]] = {}
+        self._track = track_lanes or set()
+
+    def add(self, signals: Mapping[str, int]) -> None:
+        totals = self.totals
+        for name, mask in signals.items():
+            if not mask:
+                continue
+            totals[name] = totals.get(name, 0) + mask.bit_count()
+            if name in self._track:
+                per_lane = self.lane_totals.get(name)
+                if per_lane is None:
+                    per_lane = []
+                    self.lane_totals[name] = per_lane
+                bit = 0
+                m = mask
+                while m:
+                    if m & 1:
+                        while len(per_lane) <= bit:
+                            per_lane.append(0)
+                        per_lane[bit] += 1
+                    m >>= 1
+                    bit += 1

@@ -1,0 +1,5 @@
+"""BOOM out-of-order core timing model."""
+
+from .core import BoomCore
+
+__all__ = ["BoomCore"]

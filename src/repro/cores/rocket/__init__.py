@@ -1,0 +1,5 @@
+"""Rocket in-order core timing model."""
+
+from .core import RocketCore
+
+__all__ = ["RocketCore"]

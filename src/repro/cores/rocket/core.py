@@ -1,0 +1,359 @@
+"""Cycle-level timing model of the Rocket in-order core (Fig. 2a).
+
+The model replays a committed-path dynamic trace through a 5-stage
+in-order pipeline abstraction:
+
+- a fetch engine with an L1 I-cache, ITLB, BHT+BTB predictor, and an
+  instruction buffer speaking ready/valid to decode (signal taps ③ of
+  the motivating example);
+- a single-issue execute stage with a register scoreboard (load-use,
+  long-latency, mul/div, and CSR interlocks), a blocking L1 D-cache and
+  DTLB, and execute-stage branch resolution with frontend flush and
+  redirect on mispredicts (①②④⑤ in Fig. 2a).
+
+Every cycle the model emits the lane-bitmask signal dictionary described
+in :mod:`repro.cores.base`; the Rocket rows of Table I plus the two raw
+handshake taps ``ibuf_valid``/``ibuf_ready`` (which the paper adds to the
+trace, not the PMU) are all produced here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ...isa.dyn_trace import DynamicTrace, DynInst
+from ...isa.instructions import InstrClass
+from ...uarch.branch import Prediction, RocketBranchPredictor
+from ...uarch.cache import Cache, MemorySystem
+from ...uarch.tlb import TlbHierarchy
+from ..base import CoreResult, EventAccumulator, RocketConfig, SignalObserver
+
+_SAFETY_CYCLES_PER_INST = 400
+
+
+class _FetchedInst:
+    """An instruction sitting in the instruction buffer."""
+
+    __slots__ = ("inst", "prediction", "indirect_prediction")
+
+    def __init__(self, inst: DynInst, prediction: Optional[Prediction],
+                 indirect_prediction: Optional[int]) -> None:
+        self.inst = inst
+        self.prediction = prediction
+        self.indirect_prediction = indirect_prediction
+
+
+class RocketCore:
+    """Trace-driven Rocket timing model."""
+
+    def __init__(self, config: RocketConfig = RocketConfig(),
+                 memory: Optional[MemorySystem] = None,
+                 observers: Sequence[SignalObserver] = ()) -> None:
+        self.config = config
+        self.memory = memory or MemorySystem.build(l1d_config=config.l1d)
+        self.l1i = self.memory.l1i
+        self.l1d: Cache = self.memory.blocking_l1d()
+        self.tlbs = TlbHierarchy()
+        self.predictor = RocketBranchPredictor(
+            bht_entries=config.bht_entries, btb_entries=config.btb_entries)
+        self.observers: List[SignalObserver] = list(observers)
+
+    def add_observer(self, observer: SignalObserver) -> None:
+        self.observers.append(observer)
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: DynamicTrace) -> CoreResult:
+        """Replay *trace* and return per-event totals."""
+        config = self.config
+        accumulator = EventAccumulator()
+        observers = self.observers
+        total = len(trace)
+        instructions = trace.instructions
+
+        ibuf: Deque[_FetchedInst] = deque()
+        ibuf_capacity = config.ibuf_entries
+
+        fetch_idx = 0
+        retired = 0
+        cycle = 0
+        max_cycles = total * _SAFETY_CYCLES_PER_INST + 10_000
+
+        # Scoreboard: unified reg id -> (ready_cycle, producer_kind)
+        reg_ready = [0] * 64
+        reg_producer = [""] * 64
+
+        fetch_resume_at = 0       # frontend may fetch from this cycle on
+        icache_refill_until = 0   # an I$ refill is in flight until then
+        recovering = False        # flush happened, no valid packet yet
+        recovering_from = 0       # first cycle the window is visible
+        dcache_busy_until = 0     # blocking D$ refill in flight
+        div_busy_until = 0
+        serialize_until = 0       # CSR/fence pipeline drain
+        pending_wakeup_load = -1  # reg id the execute stage is waiting on
+
+        while retired < total and cycle < max_cycles:
+            signals: Dict[str, int] = {"cycles": 1}
+
+            # ---------------- execute / retire ------------------------
+            issued_this_cycle = False
+            if ibuf:
+                entry = ibuf[0]
+                inst = entry.inst
+                stall = False
+
+                if serialize_until > cycle:
+                    stall = True
+                    signals["csr_interlock"] = 1
+                if not stall and inst.is_mem and dcache_busy_until > cycle:
+                    stall = True
+                    signals["dcache_blocked"] = 1
+                if not stall and inst.cls == InstrClass.DIV \
+                        and div_busy_until > cycle:
+                    stall = True
+                    signals["muldiv_interlock"] = 1
+                if not stall:
+                    for src in inst.srcs:
+                        if reg_ready[src] > cycle:
+                            stall = True
+                            producer = reg_producer[src]
+                            if producer == "load":
+                                if reg_ready[src] - cycle > 4:
+                                    signals["dcache_blocked"] = 1
+                                    signals["long_latency_interlock"] = 1
+                                else:
+                                    signals["load_use_interlock"] = 1
+                            elif producer in ("mul", "div"):
+                                signals["muldiv_interlock"] = 1
+                            else:
+                                signals["long_latency_interlock"] = 1
+                            break
+
+                if not stall:
+                    ibuf.popleft()
+                    issued_this_cycle = True
+                    retired += 1
+                    signals["instr_issued"] = 1
+                    signals["instr_retired"] = 1
+                    self._count_class(signals, inst)
+                    cycle_after, dcache_refill_until = self._execute(
+                        inst, entry, cycle, signals, reg_ready, reg_producer)
+                    if cycle_after is not None:
+                        # Control-flow mispredict: flush + redirect.  The
+                        # Recovering window opens on the next cycle (the
+                        # flush cycle itself still retired the branch).
+                        ibuf.clear()
+                        fetch_idx = inst.index + 1
+                        fetch_resume_at = cycle_after
+                        recovering = True
+                        recovering_from = cycle + 1
+                    if inst.cls == InstrClass.DIV:
+                        div_busy_until = cycle + inst.latency
+                    elif inst.cls == InstrClass.CSR:
+                        serialize_until = cycle + 2
+                    elif inst.is_fence:
+                        # Fence drains the pipeline and refetches.
+                        serialize_until = cycle + 3
+                        if inst.mnemonic == "fence.i":
+                            self.l1i.flush()
+                    elif inst.is_mem:
+                        dcache_busy_until = max(dcache_busy_until,
+                                                dcache_refill_until)
+            else:
+                backend_ready = (serialize_until <= cycle
+                                 and dcache_busy_until <= cycle)
+                if recovering and cycle >= recovering_from:
+                    signals["recovering"] = 1
+                elif backend_ready and not recovering:
+                    signals["fetch_bubbles"] = 1
+                elif dcache_busy_until > cycle:
+                    signals["dcache_blocked"] = 1
+
+            # ---------------- fetch -----------------------------------
+            if icache_refill_until > cycle and not ibuf:
+                signals["icache_blocked"] = 1
+
+            fetched_any = False
+            if (fetch_idx < total and cycle >= fetch_resume_at
+                    and len(ibuf) < ibuf_capacity):
+                fetched_any, fetch_resume_at, icache_refill_until = \
+                    self._fetch(instructions, fetch_idx, cycle, ibuf,
+                                ibuf_capacity, signals,
+                                icache_refill_until)
+                if fetched_any:
+                    fetch_idx = ibuf[-1].inst.index + 1
+            if recovering:
+                if fetched_any:
+                    recovering = False
+                elif cycle >= recovering_from:
+                    signals["recovering"] = 1
+
+            # Raw handshake taps for the motivating example (Fig. 3).
+            if ibuf:
+                signals["ibuf_valid"] = 1
+            if not issued_this_cycle and serialize_until <= cycle \
+                    and dcache_busy_until <= cycle:
+                signals["ibuf_ready"] = 1
+
+            accumulator.add(signals)
+            for observer in observers:
+                observer.on_cycle(cycle, signals)
+            cycle += 1
+
+        return CoreResult(
+            workload=trace.program_name, config_name=self.config.name,
+            core="rocket", cycles=cycle, instret=retired,
+            events=accumulator.totals, lane_events=accumulator.lane_totals,
+            commit_width=1, issue_width=1,
+            l1i_stats=self.l1i.stats, l1d_stats=self.l1d.stats,
+            l2_stats=self.memory.l2.stats,
+            predictor_stats=self.predictor.stats)
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, inst: DynInst, entry: _FetchedInst, cycle: int,
+                 signals: Dict[str, int], reg_ready: List[int],
+                 reg_producer: List[str]
+                 ) -> Tuple[Optional[int], int]:
+        """Execute one instruction.
+
+        Returns ``(redirect_cycle, dcache_refill_until)``: the former is
+        set on a control-flow mispredict, the latter is non-zero while a
+        blocking D$ refill started by this instruction is in flight.
+        """
+        dcache_refill_until = 0
+        redirect: Optional[int] = None
+
+        if inst.is_mem:
+            hit_tlb, tlb_extra = self.tlbs.access_data(inst.mem_addr)
+            if not hit_tlb:
+                signals["dtlb_miss"] = 1
+                if tlb_extra > 10:
+                    signals["l2_tlb_miss"] = 1
+            hit, latency = self.l1d.access(inst.mem_addr,
+                                           is_store=inst.is_store,
+                                           cycle=cycle)
+            latency += tlb_extra
+            if not hit:
+                signals["dcache_miss"] = 1
+                dcache_refill_until = cycle + latency
+            if inst.dest >= 0:
+                reg_ready[inst.dest] = cycle + latency
+                reg_producer[inst.dest] = "load"
+        elif inst.cls == InstrClass.MUL:
+            if inst.dest >= 0:
+                reg_ready[inst.dest] = cycle + inst.latency
+                reg_producer[inst.dest] = "mul"
+        elif inst.cls == InstrClass.DIV:
+            if inst.dest >= 0:
+                reg_ready[inst.dest] = cycle + inst.latency
+                reg_producer[inst.dest] = "div"
+        elif inst.cls in (InstrClass.FP, InstrClass.FP_DIV):
+            if inst.dest >= 0:
+                reg_ready[inst.dest] = cycle + inst.latency
+                reg_producer[inst.dest] = "fp"
+        elif inst.is_branch:
+            signals["branch_resolved"] = 1
+            prediction = entry.prediction
+            mispredicted = self.predictor.resolve_branch(
+                inst.pc, inst.taken, inst.next_pc, prediction)
+            if mispredicted:
+                if prediction is not None and prediction.taken == inst.taken:
+                    signals["cf_target_mispredict"] = 1
+                else:
+                    signals["cobr_mispredict"] = 1
+                redirect = cycle + self.config.redirect_latency
+        elif inst.cls == InstrClass.JUMP_REG:
+            mispredicted = self.predictor.resolve_indirect(
+                inst.pc, inst.next_pc, entry.indirect_prediction)
+            if mispredicted:
+                signals["cf_target_mispredict"] = 1
+                redirect = cycle + self.config.redirect_latency
+        elif inst.dest >= 0:
+            reg_ready[inst.dest] = cycle + inst.latency
+            reg_producer[inst.dest] = "alu"
+        return redirect, dcache_refill_until
+
+    @staticmethod
+    def _count_class(signals: Dict[str, int], inst: DynInst) -> None:
+        cls = inst.cls
+        if cls in (InstrClass.LOAD, InstrClass.FP_LOAD):
+            signals["load"] = 1
+        elif cls in (InstrClass.STORE, InstrClass.FP_STORE):
+            signals["store"] = 1
+        elif cls == InstrClass.AMO:
+            signals["atomic"] = 1
+        elif cls == InstrClass.BRANCH:
+            signals["branch"] = 1
+        elif cls == InstrClass.FENCE:
+            signals["fence"] = 1
+        elif cls in (InstrClass.SYSTEM, InstrClass.CSR):
+            signals["system"] = 1
+        else:
+            signals["arith"] = 1
+
+    # ------------------------------------------------------------------
+
+    def _fetch(self, instructions: List[DynInst], fetch_idx: int, cycle: int,
+               ibuf: Deque[_FetchedInst], capacity: int,
+               signals: Dict[str, int],
+               icache_refill_until: int) -> Tuple[bool, int, int]:
+        """Fetch one packet (up to fetch_width sequential instructions).
+
+        A predicted-taken control-flow instruction ends the packet *and*
+        costs one dead fetch cycle: Rocket's BTB redirects from the
+        fetch-data stage, killing the in-flight sequential fetch.  This
+        is the source of the warm-I$ fetch bubbles the motivating
+        example highlights (§III, Fig. 3b).
+        """
+        first = instructions[fetch_idx]
+        pc = first.pc
+
+        tlb_hit, tlb_extra = self.tlbs.access_instruction(pc)
+        if not tlb_hit:
+            signals["itlb_miss"] = 1
+            if tlb_extra > 10:
+                signals["l2_tlb_miss"] = 1
+        hit, latency = self.l1i.access(pc, cycle=cycle)
+        latency += tlb_extra
+        if not hit or tlb_extra:
+            if not hit:
+                signals["icache_miss"] = 1
+            # Frontend blocks until the refill/walk completes.
+            return False, cycle + latency, cycle + latency
+
+        total = len(instructions)
+        block = self.l1i.block_address(pc)
+        fetched = 0
+        idx = fetch_idx
+        prev_pc = None
+        resume_at = cycle + 1
+        while (idx < total and fetched < self.config.fetch_width
+               and len(ibuf) < capacity):
+            inst = instructions[idx]
+            if prev_pc is not None and inst.pc != prev_pc + 4:
+                break  # discontinuity: redirected packet starts next cycle
+            if self.l1i.block_address(inst.pc) != block:
+                break  # next cache block, next cycle
+            prediction: Optional[Prediction] = None
+            indirect: Optional[int] = None
+            if inst.is_branch:
+                prediction = self.predictor.predict_branch(inst.pc)
+            elif inst.cls == InstrClass.JUMP:
+                if inst.dest == 1:  # call: remember the return address
+                    self.predictor.ras.push(inst.pc + 4)
+            elif inst.cls == InstrClass.JUMP_REG:
+                is_return = (inst.dest < 0 and inst.srcs == (1,))
+                indirect = self.predictor.predict_indirect(
+                    inst.pc, is_return=is_return)
+            ibuf.append(_FetchedInst(inst, prediction, indirect))
+            fetched += 1
+            prev_pc = inst.pc
+            idx += 1
+            if inst.is_control_flow and inst.taken:
+                # Taken redirect from the fetch-data stage: the packet
+                # ends and the next fetch loses one cycle.
+                resume_at = cycle + 2
+                break
+        return fetched > 0, resume_at, icache_refill_until

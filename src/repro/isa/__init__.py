@@ -1,0 +1,45 @@
+"""RV64-subset ISA model: registers, instructions, assembler, executor.
+
+This package provides everything needed to express the paper's workload
+suite as real RISC-V-style programs and to obtain committed-path dynamic
+traces that the Rocket and BOOM timing models replay.
+"""
+
+from .assembler import Assembler, assemble
+from .builder import AsmBuilder
+from .dyn_trace import DynamicTrace, DynInst, FP_REG_BASE, NO_REG
+from .encoding import (EncodingError, decode, encodable, encode,
+                       encode_program)
+from .errors import AssemblerError, ExecutionError, IsaError
+from .executor import FunctionalExecutor, execute
+from .instructions import InstrClass, Instruction, OPCODES, OpSpec
+from .memory import SparseMemory
+from .program import DEFAULT_DATA_BASE, DEFAULT_TEXT_BASE, Program
+
+__all__ = [
+    "AsmBuilder",
+    "Assembler",
+    "AssemblerError",
+    "DEFAULT_DATA_BASE",
+    "DEFAULT_TEXT_BASE",
+    "DynamicTrace",
+    "DynInst",
+    "EncodingError",
+    "ExecutionError",
+    "FP_REG_BASE",
+    "FunctionalExecutor",
+    "InstrClass",
+    "Instruction",
+    "IsaError",
+    "NO_REG",
+    "OPCODES",
+    "OpSpec",
+    "Program",
+    "SparseMemory",
+    "assemble",
+    "decode",
+    "encodable",
+    "encode",
+    "encode_program",
+    "execute",
+]

@@ -1,0 +1,140 @@
+"""Programmatic assembly builder.
+
+Workloads in this repository are mostly written as literal assembly
+text; for *generated* kernels (parameter sweeps, fuzzing, the custom
+workloads of downstream users) a builder is less error-prone than
+string concatenation.  :class:`AsmBuilder` accumulates text and data
+sections with explicit methods — no operator magic — and hands the
+result to the normal assembler.
+
+Example::
+
+    builder = AsmBuilder()
+    arr = builder.dword("arr", [3, 1, 2])
+    builder.label("_start")
+    builder.emit("la a0, arr")
+    with builder.loop("sum", trip_reg="t0", bound=3) as loop:
+        builder.emit("slli t1, t0, 3")
+        builder.emit("add t1, a0, t1")
+        builder.emit("ld t2, 0(t1)")
+        builder.emit("add a0, a0, zero")  # placeholder work
+    builder.exit(code_reg="t2")
+    program = builder.assemble(name="demo")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
+
+from .assembler import assemble as _assemble
+from .program import Program
+
+
+class AsmBuilder:
+    """Accumulates an assembly source file section by section."""
+
+    def __init__(self) -> None:
+        self._data: List[str] = []
+        self._text: List[str] = []
+        self._label_counter = 0
+
+    # -- data section ----------------------------------------------------
+
+    def dword(self, label: str, values: Sequence[int],
+              per_line: int = 8) -> str:
+        """Emit a labelled ``.dword`` block; returns the label."""
+        self._data.append(f"{label}:")
+        values = list(values)
+        if not values:
+            self._data.append("    .dword 0")
+        for start in range(0, len(values), per_line):
+            chunk = ", ".join(str(v)
+                              for v in values[start:start + per_line])
+            self._data.append(f"    .dword {chunk}")
+        return label
+
+    def space(self, label: str, size_bytes: int) -> str:
+        """Reserve zeroed storage; returns the label."""
+        self._data.append(f"{label}:")
+        self._data.append(f"    .space {size_bytes}")
+        return label
+
+    def align(self, power: int) -> None:
+        self._data.append(f"    .align {power}")
+
+    def asciz(self, label: str, text: str) -> str:
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        self._data.append(f'{label}: .asciz "{escaped}"')
+        return label
+
+    # -- text section ----------------------------------------------------
+
+    def emit(self, line: str) -> "AsmBuilder":
+        """Append one instruction (or raw assembler line)."""
+        self._text.append(f"    {line.strip()}")
+        return self
+
+    def comment(self, text: str) -> "AsmBuilder":
+        self._text.append(f"    # {text}")
+        return self
+
+    def label(self, name: Optional[str] = None) -> str:
+        """Place a label; generates a fresh name when none is given."""
+        if name is None:
+            name = f".L{self._label_counter}"
+            self._label_counter += 1
+        self._text.append(f"{name}:")
+        return name
+
+    def fresh_label(self) -> str:
+        """Reserve a unique label name without placing it yet."""
+        name = f".L{self._label_counter}"
+        self._label_counter += 1
+        return name
+
+    @contextmanager
+    def loop(self, name: str, trip_reg: str,
+             bound: int) -> Iterator[str]:
+        """A counted loop: ``for trip_reg in range(bound)``.
+
+        The context body emits the loop's payload; the builder adds the
+        init, increment, and back-edge around it.  ``trip_reg`` must not
+        be clobbered by the body.
+        """
+        head = f"{name}_head"
+        self.emit(f"li {trip_reg}, 0")
+        self.label(head)
+        yield head
+        self.emit(f"addi {trip_reg}, {trip_reg}, 1")
+        self.emit(f"li t6, {bound}")
+        self.emit(f"blt {trip_reg}, t6, {head}")
+
+    def call(self, target: str) -> "AsmBuilder":
+        return self.emit(f"call {target}")
+
+    def exit(self, code_reg: str = "a0", code: Optional[int] = None
+             ) -> "AsmBuilder":
+        """Emit the bare-metal exit convention (ecall with a7=93)."""
+        if code is not None:
+            self.emit(f"li a0, {code}")
+        elif code_reg != "a0":
+            self.emit(f"mv a0, {code_reg}")
+        self.emit("li a7, 93")
+        return self.emit("ecall")
+
+    # -- output ------------------------------------------------------------
+
+    def source(self) -> str:
+        """Render the accumulated sections as assembly text."""
+        parts: List[str] = []
+        if self._data:
+            parts.append(".data")
+            parts.extend(self._data)
+        parts.append(".text")
+        parts.extend(self._text)
+        return "\n".join(parts) + "\n"
+
+    def assemble(self, name: str = "generated") -> Program:
+        """Assemble the accumulated source."""
+        return _assemble(self.source(), name=name)

@@ -1,0 +1,66 @@
+"""CSR address map for the Zicsr subset used by the PMU harness.
+
+Addresses follow the RISC-V privileged specification.  The performance
+monitoring CSRs (``mcycle``, ``minstret``, ``mhpmcounter3..31`` and their
+``mhpmevent`` selectors, plus ``mcountinhibit``) are the ones Icicle's
+software harness programs in its four-step setup (§IV-D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+MCYCLE = 0xB00
+MINSTRET = 0xB02
+MHPMCOUNTER_BASE = 0xB03          # mhpmcounter3 .. mhpmcounter31
+MHPMEVENT_BASE = 0x323            # mhpmevent3 .. mhpmevent31
+MCOUNTINHIBIT = 0x320
+MSTATUS = 0x300
+MCOUNTEREN = 0x306
+CYCLE = 0xC00
+TIME = 0xC01
+INSTRET = 0xC02
+HPMCOUNTER_BASE = 0xC03           # user-level shadows
+
+NUM_HPM_COUNTERS = 29             # counters 3..31 -> 29 programmable + cycle/instret
+FIRST_HPM_INDEX = 3
+LAST_HPM_INDEX = 31
+
+
+def _build_names() -> Dict[str, int]:
+    names = {
+        "mcycle": MCYCLE,
+        "minstret": MINSTRET,
+        "mcountinhibit": MCOUNTINHIBIT,
+        "mstatus": MSTATUS,
+        "mcounteren": MCOUNTEREN,
+        "cycle": CYCLE,
+        "time": TIME,
+        "instret": INSTRET,
+    }
+    for i in range(FIRST_HPM_INDEX, LAST_HPM_INDEX + 1):
+        names[f"mhpmcounter{i}"] = MHPMCOUNTER_BASE + (i - FIRST_HPM_INDEX)
+        names[f"mhpmevent{i}"] = MHPMEVENT_BASE + (i - FIRST_HPM_INDEX)
+        names[f"hpmcounter{i}"] = HPMCOUNTER_BASE + (i - FIRST_HPM_INDEX)
+    return names
+
+
+#: CSR name -> 12-bit address, as accepted by the assembler.
+CSR_ADDRS: Dict[str, int] = _build_names()
+
+#: Reverse map for disassembly/reporting.
+CSR_NAMES: Dict[int, str] = {addr: name for name, addr in CSR_ADDRS.items()}
+
+
+def mhpmcounter_addr(index: int) -> int:
+    """CSR address of ``mhpmcounter<index>`` (index in 3..31)."""
+    if not FIRST_HPM_INDEX <= index <= LAST_HPM_INDEX:
+        raise ValueError(f"hpm counter index out of range: {index}")
+    return MHPMCOUNTER_BASE + (index - FIRST_HPM_INDEX)
+
+
+def mhpmevent_addr(index: int) -> int:
+    """CSR address of ``mhpmevent<index>`` (index in 3..31)."""
+    if not FIRST_HPM_INDEX <= index <= LAST_HPM_INDEX:
+        raise ValueError(f"hpm event index out of range: {index}")
+    return MHPMEVENT_BASE + (index - FIRST_HPM_INDEX)

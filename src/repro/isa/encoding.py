@@ -1,0 +1,295 @@
+"""Binary encoding of the RV64 subset (RISC-V ISA manual formats).
+
+The assembler's :class:`~repro.isa.instructions.Instruction` objects are
+semantic; this module lowers them to (and lifts them from) the actual
+32-bit RISC-V machine words, so an assembled program can be emitted as a
+flat binary image and round-tripped through the disassembler.
+
+Covered encodings: the RV64IM subset plus Zicsr, fences, ecall/ebreak,
+the RV64A subset, and the D-extension instructions the workload suite
+uses.  Branch/jump immediates are PC-relative in the encoding, while
+the in-memory ``Instruction`` stores absolute targets — ``encode`` and
+``decode`` convert using the instruction's placed address.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .errors import IsaError
+from .instructions import Instruction, OPCODES
+from .program import Program
+
+_U32 = (1 << 32) - 1
+
+
+class EncodingError(IsaError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _check_range(value: int, bits: int, what: str, signed: bool = True):
+    if signed:
+        low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        low, high = 0, (1 << bits) - 1
+    if not low <= value <= high:
+        raise EncodingError(
+            f"{what} {value} does not fit in {bits} bits")
+
+
+def _sext(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+# (opcode, funct3, funct7) per mnemonic for the regular formats.
+_R_TYPE: Dict[str, Tuple[int, int, int]] = {
+    "add": (0x33, 0, 0x00), "sub": (0x33, 0, 0x20),
+    "sll": (0x33, 1, 0x00), "slt": (0x33, 2, 0x00),
+    "sltu": (0x33, 3, 0x00), "xor": (0x33, 4, 0x00),
+    "srl": (0x33, 5, 0x00), "sra": (0x33, 5, 0x20),
+    "or": (0x33, 6, 0x00), "and": (0x33, 7, 0x00),
+    "addw": (0x3B, 0, 0x00), "subw": (0x3B, 0, 0x20),
+    "sllw": (0x3B, 1, 0x00), "srlw": (0x3B, 5, 0x00),
+    "sraw": (0x3B, 5, 0x20),
+    "mul": (0x33, 0, 0x01), "mulh": (0x33, 1, 0x01),
+    "mulhsu": (0x33, 2, 0x01), "mulhu": (0x33, 3, 0x01),
+    "div": (0x33, 4, 0x01), "divu": (0x33, 5, 0x01),
+    "rem": (0x33, 6, 0x01), "remu": (0x33, 7, 0x01),
+    "mulw": (0x3B, 0, 0x01), "divw": (0x3B, 4, 0x01),
+    "divuw": (0x3B, 5, 0x01), "remw": (0x3B, 6, 0x01),
+    "remuw": (0x3B, 7, 0x01),
+    "fadd.d": (0x53, 0, 0x01), "fsub.d": (0x53, 0, 0x05),
+    "fmul.d": (0x53, 0, 0x09), "fdiv.d": (0x53, 0, 0x0D),
+    "fmin.d": (0x53, 0, 0x15), "fmax.d": (0x53, 1, 0x15),
+    "feq.d": (0x53, 2, 0x51), "flt.d": (0x53, 1, 0x51),
+    "fle.d": (0x53, 0, 0x51),
+}
+
+_I_TYPE: Dict[str, Tuple[int, int]] = {
+    "addi": (0x13, 0), "slti": (0x13, 2), "sltiu": (0x13, 3),
+    "xori": (0x13, 4), "ori": (0x13, 6), "andi": (0x13, 7),
+    "addiw": (0x1B, 0),
+    "jalr": (0x67, 0),
+    "lb": (0x03, 0), "lh": (0x03, 1), "lw": (0x03, 2), "ld": (0x03, 3),
+    "lbu": (0x03, 4), "lhu": (0x03, 5), "lwu": (0x03, 6),
+    "fld": (0x07, 3),
+}
+
+# Shift-immediates use a funct6 field (bits 31..26) so RV64's 6-bit
+# shift amounts fit; (opcode, funct3, funct6) per mnemonic.
+_SHIFT_IMM: Dict[str, Tuple[int, int, int]] = {
+    "slli": (0x13, 1, 0x00), "srli": (0x13, 5, 0x00),
+    "srai": (0x13, 5, 0x10),
+    "slliw": (0x1B, 1, 0x00), "srliw": (0x1B, 5, 0x00),
+    "sraiw": (0x1B, 5, 0x10),
+}
+
+_S_TYPE: Dict[str, Tuple[int, int]] = {
+    "sb": (0x23, 0), "sh": (0x23, 1), "sw": (0x23, 2), "sd": (0x23, 3),
+    "fsd": (0x27, 3),
+}
+
+_B_TYPE: Dict[str, int] = {
+    "beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7,
+}
+
+_CSR_TYPE: Dict[str, int] = {
+    "csrrw": 1, "csrrs": 2, "csrrc": 3,
+    "csrrwi": 5, "csrrsi": 6, "csrrci": 7,
+}
+
+_AMO_FUNCT5: Dict[str, int] = {
+    "amoadd.d": 0x00, "amoswap.d": 0x01, "lr.d": 0x02, "sc.d": 0x03,
+}
+
+_FP_SPECIAL: Dict[str, Tuple[int, int, int, int]] = {
+    # mnemonic -> (funct7, rs2 field, funct3, uses_int_rd)
+    "fsqrt.d": (0x2D, 0, 0, 0),
+    "fcvt.d.l": (0x69, 2, 0, 0),
+    "fcvt.l.d": (0x61, 2, 1, 1),
+    "fmv.d.x": (0x79, 0, 0, 0),
+    "fmv.x.d": (0x71, 0, 0, 1),
+}
+
+
+def encode(inst: Instruction) -> int:
+    """Encode one placed instruction to its 32-bit machine word."""
+    m = inst.mnemonic
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+
+    if m in _R_TYPE:
+        opcode, funct3, funct7 = _R_TYPE[m]
+        return (funct7 << 25 | rs2 << 20 | rs1 << 15 | funct3 << 12
+                | rd << 7 | opcode)
+    if m in _SHIFT_IMM:
+        opcode, funct3, funct6 = _SHIFT_IMM[m]
+        shamt_bits = 6 if opcode == 0x13 else 5
+        _check_range(inst.imm, shamt_bits, "shift amount", signed=False)
+        return (funct6 << 26 | (inst.imm & 0x3F) << 20 | rs1 << 15
+                | funct3 << 12 | rd << 7 | opcode)
+    if m in _I_TYPE:
+        opcode, funct3 = _I_TYPE[m]
+        _check_range(inst.imm, 12, "I-immediate")
+        return ((inst.imm & 0xFFF) << 20 | rs1 << 15 | funct3 << 12
+                | rd << 7 | opcode)
+    if m in _S_TYPE:
+        opcode, funct3 = _S_TYPE[m]
+        _check_range(inst.imm, 12, "S-immediate")
+        imm = inst.imm & 0xFFF
+        return ((imm >> 5) << 25 | rs2 << 20 | rs1 << 15 | funct3 << 12
+                | (imm & 0x1F) << 7 | opcode)
+    if m in _B_TYPE:
+        offset = inst.imm - inst.addr      # absolute -> pc-relative
+        _check_range(offset, 13, "branch offset")
+        if offset & 1:
+            raise EncodingError("branch offset must be even")
+        imm = offset & 0x1FFE
+        return (((offset >> 12) & 1) << 31 | ((imm >> 5) & 0x3F) << 25
+                | rs2 << 20 | rs1 << 15 | _B_TYPE[m] << 12
+                | ((imm >> 1) & 0xF) << 8 | ((offset >> 11) & 1) << 7
+                | 0x63)
+    if m == "jal":
+        offset = inst.imm - inst.addr
+        _check_range(offset, 21, "jal offset")
+        return (((offset >> 20) & 1) << 31 | ((offset >> 1) & 0x3FF) << 21
+                | ((offset >> 11) & 1) << 20
+                | ((offset >> 12) & 0xFF) << 12 | rd << 7 | 0x6F)
+    if m in ("lui", "auipc"):
+        _check_range(inst.imm, 20, "U-immediate")
+        opcode = 0x37 if m == "lui" else 0x17
+        return (inst.imm & 0xFFFFF) << 12 | rd << 7 | opcode
+    if m in _CSR_TYPE:
+        source = rs1 if not m.endswith("i") else (inst.imm & 0x1F)
+        return ((inst.csr & 0xFFF) << 20 | source << 15
+                | _CSR_TYPE[m] << 12 | rd << 7 | 0x73)
+    if m == "ecall":
+        return 0x00000073
+    if m == "ebreak":
+        return 0x00100073
+    if m == "fence":
+        return 0x0FF0000F
+    if m == "fence.i":
+        return 0x0000100F
+    if m in _AMO_FUNCT5:
+        return (_AMO_FUNCT5[m] << 27 | rs2 << 20 | rs1 << 15 | 3 << 12
+                | rd << 7 | 0x2F)
+    if m in _FP_SPECIAL:
+        funct7, rs2_field, funct3, _ = _FP_SPECIAL[m]
+        return (funct7 << 25 | rs2_field << 20 | rs1 << 15 | funct3 << 12
+                | rd << 7 | 0x53)
+    raise EncodingError(f"no encoding for {m!r}")
+
+
+def encode_program(program: Program) -> bytes:
+    """Flat little-endian text image of the whole program."""
+    out = bytearray()
+    for inst in program.instructions:
+        out += encode(inst).to_bytes(4, "little")
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+
+_R_BY_KEY = {(op, f3, f7): m for m, (op, f3, f7) in _R_TYPE.items()}
+_I_BY_KEY = {(op, f3): m for m, (op, f3) in _I_TYPE.items()}
+_S_BY_KEY = {(op, f3): m for m, (op, f3) in _S_TYPE.items()}
+_B_BY_F3 = {f3: m for m, f3 in _B_TYPE.items()}
+_CSR_BY_F3 = {f3: m for m, f3 in _CSR_TYPE.items()}
+_SHIFT_BY_KEY = {(op, f3, f6): m
+                 for m, (op, f3, f6) in _SHIFT_IMM.items()}
+_AMO_BY_F5 = {f5: m for m, f5 in _AMO_FUNCT5.items()}
+_FP_BY_F7 = {f7: m for m, (f7, _, _, _) in _FP_SPECIAL.items()}
+
+
+def decode(word: int, addr: int = 0) -> Instruction:
+    """Decode a 32-bit word back into an :class:`Instruction`.
+
+    Branch/jump targets are returned as absolute addresses (using
+    *addr*), matching the assembler's in-memory convention.
+    """
+    word &= _U32
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if word == 0x00000073:
+        return Instruction("ecall", addr=addr)
+    if word == 0x00100073:
+        return Instruction("ebreak", addr=addr)
+    if opcode == 0x0F:
+        mnemonic = "fence.i" if funct3 == 1 else "fence"
+        return Instruction(mnemonic, addr=addr)
+
+    if opcode in (0x33, 0x3B) or (opcode == 0x53 and funct7 not in
+                                  _FP_BY_F7):
+        key = (opcode, funct3, funct7)
+        if key in _R_BY_KEY:
+            return Instruction(_R_BY_KEY[key], rd=rd, rs1=rs1, rs2=rs2,
+                               addr=addr)
+    if opcode == 0x53 and funct7 in _FP_BY_F7:
+        return Instruction(_FP_BY_F7[funct7], rd=rd, rs1=rs1, addr=addr)
+    if opcode in (0x13, 0x1B) and funct3 in (1, 5):
+        key = (opcode, funct3, (word >> 26) & 0x3F)
+        if key in _SHIFT_BY_KEY:
+            shamt = (word >> 20) & (0x3F if opcode == 0x13 else 0x1F)
+            return Instruction(_SHIFT_BY_KEY[key], rd=rd, rs1=rs1,
+                               imm=shamt, addr=addr)
+    if (opcode, funct3) in _I_BY_KEY:
+        imm = _sext(word >> 20, 12)
+        return Instruction(_I_BY_KEY[(opcode, funct3)], rd=rd, rs1=rs1,
+                           imm=imm, addr=addr)
+    if (opcode, funct3) in _S_BY_KEY:
+        imm = _sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+        return Instruction(_S_BY_KEY[(opcode, funct3)], rs1=rs1, rs2=rs2,
+                           imm=imm, addr=addr)
+    if opcode == 0x63 and funct3 in _B_BY_F3:
+        offset = _sext(
+            (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11)
+            | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1),
+            13)
+        return Instruction(_B_BY_F3[funct3], rs1=rs1, rs2=rs2,
+                           imm=addr + offset, addr=addr)
+    if opcode == 0x6F:
+        offset = _sext(
+            (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1),
+            21)
+        return Instruction("jal", rd=rd, imm=addr + offset, addr=addr)
+    if opcode == 0x37:
+        return Instruction("lui", rd=rd, imm=_sext(word >> 12, 20),
+                           addr=addr)
+    if opcode == 0x17:
+        # Sign-extend so pc-relative `auipc` pairs round-trip to the
+        # assembler's (possibly negative) hi-part convention.
+        return Instruction("auipc", rd=rd, imm=_sext(word >> 12, 20),
+                           addr=addr)
+    if opcode == 0x73 and funct3 in _CSR_BY_F3:
+        mnemonic = _CSR_BY_F3[funct3]
+        csr = (word >> 20) & 0xFFF
+        if mnemonic.endswith("i"):
+            return Instruction(mnemonic, rd=rd, imm=rs1, csr=csr,
+                               addr=addr)
+        return Instruction(mnemonic, rd=rd, rs1=rs1, csr=csr, addr=addr)
+    if opcode == 0x2F and funct3 == 3:
+        funct5 = (word >> 27) & 0x1F
+        if funct5 in _AMO_BY_F5:
+            return Instruction(_AMO_BY_F5[funct5], rd=rd, rs1=rs1,
+                               rs2=rs2, addr=addr)
+    raise EncodingError(f"cannot decode word {word:#010x}")
+
+
+def encodable(inst: Instruction) -> bool:
+    """True when :func:`encode` supports the instruction as placed."""
+    try:
+        encode(inst)
+        return True
+    except EncodingError:
+        return False

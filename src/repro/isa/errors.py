@@ -1,0 +1,25 @@
+"""Exception types raised by the ISA layer."""
+
+from __future__ import annotations
+
+
+class IsaError(Exception):
+    """Base class for all ISA-layer errors."""
+
+
+class AssemblerError(IsaError):
+    """Raised when assembly source cannot be parsed or resolved."""
+
+    def __init__(self, message: str, line: int = -1) -> None:
+        self.line = line
+        if line >= 0:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ExecutionError(IsaError):
+    """Raised when the functional executor encounters an illegal state."""
+
+
+class MemoryError_(IsaError):
+    """Raised on invalid memory accesses (misalignment, bad address)."""

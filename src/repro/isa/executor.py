@@ -1,0 +1,417 @@
+"""Functional executor: runs a :class:`Program` and emits a dynamic trace.
+
+The executor implements the architectural semantics of the RV64 subset
+(64-bit two's-complement integer arithmetic, little-endian memory,
+IEEE-754 doubles for the FP subset) without any timing.  Its output — a
+:class:`~repro.isa.dyn_trace.DynamicTrace` of committed instructions with
+resolved branch outcomes and effective addresses — is what the Rocket and
+BOOM timing models replay.
+
+Program exit follows the common bare-metal convention: ``ecall`` with
+``a7 == 93`` terminates with exit code ``a0``; ``ebreak`` also halts.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from .dyn_trace import FP_REG_BASE, NO_REG, DynamicTrace, DynInst
+from .errors import ExecutionError
+from .instructions import (InstrClass, MEM_WIDTHS, UNSIGNED_LOADS,
+                           Instruction)
+from .memory import SparseMemory
+from .program import INSTR_BYTES, Program
+
+_U64 = (1 << 64) - 1
+_U32 = (1 << 32) - 1
+
+SYSCALL_EXIT = 93
+
+#: Default safety valve on dynamic instruction count.
+DEFAULT_MAX_INSTRUCTIONS = 4_000_000
+
+
+def _sext(value: int, bits: int) -> int:
+    """Sign-extend the low *bits* of *value* to a Python int."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def _to_signed64(value: int) -> int:
+    return _sext(value, 64)
+
+
+def _f2bits(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def _bits2f(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits & _U64))[0]
+
+
+class FunctionalExecutor:
+    """Architectural interpreter for assembled programs."""
+
+    def __init__(self, program: Program,
+                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                 stack_top: int = 0x8800_0000) -> None:
+        self.program = program
+        self.max_instructions = max_instructions
+        self.memory = SparseMemory(program.data)
+        self.int_regs: List[int] = [0] * 32
+        self.fp_regs: List[float] = [0.0] * 32
+        self.csrs: Dict[int, int] = {}
+        self.int_regs[2] = stack_top  # sp
+        self.pc = program.entry
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> DynamicTrace:
+        """Execute until halt and return the committed-path trace."""
+        trace: List[DynInst] = []
+        program = self.program
+        exit_code = 0
+        halt_reason = "fell-off-text"
+
+        while program.has_instruction(self.pc):
+            if len(trace) >= self.max_instructions:
+                raise ExecutionError(
+                    f"instruction budget exceeded "
+                    f"({self.max_instructions}) in {program.name!r}")
+            instr = program.instruction_at(self.pc)
+            dyn, halted, exit_code = self._step(instr, len(trace))
+            trace.append(dyn)
+            if halted:
+                halt_reason = "ecall" if instr.mnemonic == "ecall" else "ebreak"
+                break
+            self.pc = dyn.next_pc
+
+        return DynamicTrace(trace, program_name=program.name,
+                            exit_code=exit_code, halt_reason=halt_reason,
+                            final_int_regs=list(self.int_regs))
+
+    # ------------------------------------------------------------------
+
+    def _read_int(self, index: int) -> int:
+        return self.int_regs[index]
+
+    def _write_int(self, index: int, value: int) -> None:
+        if index != 0:
+            self.int_regs[index] = value & _U64
+
+    def _step(self, instr: Instruction,
+              seq: int) -> Tuple[DynInst, bool, int]:
+        spec = instr.spec
+        m = instr.mnemonic
+        pc = instr.addr
+        next_pc = pc + INSTR_BYTES
+        rs1 = self._read_int(instr.rs1) if not spec.fp_rs1 else 0
+        rs2 = self._read_int(instr.rs2) if not spec.fp_rs2 else 0
+        s1 = _to_signed64(rs1)
+        s2 = _to_signed64(rs2)
+        imm = instr.imm
+        cls = spec.cls
+        mem_addr = 0
+        mem_width = 0
+        taken = False
+        halted = False
+        exit_code = 0
+        csr_write: Optional[int] = None
+
+        if cls == InstrClass.ALU:
+            self._write_int(instr.rd, self._alu(m, rs1, rs2, s1, s2, imm, pc))
+        elif cls == InstrClass.MUL:
+            self._write_int(instr.rd, self._mul(m, rs1, rs2, s1, s2))
+        elif cls == InstrClass.DIV:
+            self._write_int(instr.rd, self._div(m, rs1, rs2, s1, s2))
+        elif cls == InstrClass.LOAD:
+            mem_addr = (rs1 + imm) & _U64
+            mem_width = MEM_WIDTHS[m]
+            if m in UNSIGNED_LOADS:
+                value = self.memory.read(mem_addr, mem_width)
+            else:
+                value = self.memory.read_signed(mem_addr, mem_width) & _U64
+            self._write_int(instr.rd, value)
+        elif cls == InstrClass.STORE:
+            mem_addr = (rs1 + imm) & _U64
+            mem_width = MEM_WIDTHS[m]
+            self.memory.write(mem_addr, rs2, mem_width)
+        elif cls == InstrClass.BRANCH:
+            taken = self._branch_taken(m, rs1, rs2, s1, s2)
+            if taken:
+                next_pc = imm
+        elif cls == InstrClass.JUMP:
+            self._write_int(instr.rd, pc + INSTR_BYTES)
+            next_pc = imm
+            taken = True
+        elif cls == InstrClass.JUMP_REG:
+            target = (rs1 + imm) & ~1 & _U64
+            self._write_int(instr.rd, pc + INSTR_BYTES)
+            next_pc = target
+            taken = True
+        elif cls == InstrClass.FENCE:
+            pass
+        elif cls == InstrClass.SYSTEM:
+            if m == "ecall":
+                if self._read_int(17) == SYSCALL_EXIT:  # a7
+                    halted = True
+                    exit_code = _to_signed64(self._read_int(10))  # a0
+            else:  # ebreak
+                halted = True
+        elif cls == InstrClass.CSR:
+            old = self.csrs.get(instr.csr, 0)
+            if m == "csrrw":
+                csr_write = rs1 & _U64
+            elif m == "csrrs":
+                csr_write = (old | rs1) & _U64 if instr.rs1 != 0 else None
+            elif m == "csrrc":
+                csr_write = (old & ~rs1) & _U64 if instr.rs1 != 0 else None
+            elif m == "csrrwi":
+                csr_write = imm & 0x1F
+            elif m == "csrrsi":
+                csr_write = (old | (imm & 0x1F)) & _U64 if imm else None
+            elif m == "csrrci":
+                csr_write = (old & ~(imm & 0x1F)) & _U64 if imm else None
+            if csr_write is not None:
+                self.csrs[instr.csr] = csr_write
+            self._write_int(instr.rd, old)
+        elif cls in (InstrClass.FP, InstrClass.FP_DIV):
+            self._fp_op(instr, m, rs1)
+        elif cls == InstrClass.FP_LOAD:
+            mem_addr = (rs1 + imm) & _U64
+            mem_width = 8
+            self.fp_regs[instr.rd] = _bits2f(self.memory.read(mem_addr, 8))
+        elif cls == InstrClass.FP_STORE:
+            mem_addr = (rs1 + imm) & _U64
+            mem_width = 8
+            self.memory.write(mem_addr, _f2bits(self.fp_regs[instr.rs2]), 8)
+        elif cls == InstrClass.AMO:
+            mem_addr = rs1 & _U64
+            mem_width = 8
+            old = self.memory.read(mem_addr, 8)
+            if m == "amoadd.d":
+                self.memory.write(mem_addr, (old + rs2) & _U64, 8)
+                self._write_int(instr.rd, old)
+            elif m == "amoswap.d":
+                self.memory.write(mem_addr, rs2, 8)
+                self._write_int(instr.rd, old)
+            elif m == "lr.d":
+                self._write_int(instr.rd, old)
+            elif m == "sc.d":
+                self.memory.write(mem_addr, rs2, 8)
+                self._write_int(instr.rd, 0)  # always succeeds in this model
+        else:  # pragma: no cover - exhaustive
+            raise ExecutionError(f"unimplemented class {cls} for {m}")
+
+        dest, srcs = self._deps(instr)
+        dyn = DynInst(
+            seq, pc, cls, dest, srcs, spec.latency, next_pc, m,
+            mem_addr=mem_addr, mem_width=mem_width,
+            is_load=(cls in (InstrClass.LOAD, InstrClass.FP_LOAD)
+                     or m in ("lr.d", "amoadd.d", "amoswap.d")),
+            is_store=(cls in (InstrClass.STORE, InstrClass.FP_STORE)
+                      or m in ("sc.d", "amoadd.d", "amoswap.d")),
+            is_branch=(cls == InstrClass.BRANCH), taken=taken,
+            is_fence=(cls == InstrClass.FENCE),
+            csr=instr.csr if cls == InstrClass.CSR else -1,
+            csr_write=csr_write)
+        return dyn, halted, exit_code
+
+    # ------------------------------------------------------------------
+    # per-class semantics
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _alu(m: str, rs1: int, rs2: int, s1: int, s2: int, imm: int,
+             pc: int) -> int:
+        if m == "add":
+            return rs1 + rs2
+        if m == "sub":
+            return rs1 - rs2
+        if m == "and":
+            return rs1 & rs2
+        if m == "or":
+            return rs1 | rs2
+        if m == "xor":
+            return rs1 ^ rs2
+        if m == "sll":
+            return rs1 << (rs2 & 63)
+        if m == "srl":
+            return rs1 >> (rs2 & 63)
+        if m == "sra":
+            return s1 >> (rs2 & 63)
+        if m == "slt":
+            return int(s1 < s2)
+        if m == "sltu":
+            return int(rs1 < rs2)
+        if m == "addi":
+            return rs1 + imm
+        if m == "andi":
+            return rs1 & (imm & _U64)
+        if m == "ori":
+            return rs1 | (imm & _U64)
+        if m == "xori":
+            return rs1 ^ (imm & _U64)
+        if m == "slti":
+            return int(s1 < imm)
+        if m == "sltiu":
+            return int(rs1 < (imm & _U64))
+        if m == "slli":
+            return rs1 << (imm & 63)
+        if m == "srli":
+            return rs1 >> (imm & 63)
+        if m == "srai":
+            return s1 >> (imm & 63)
+        if m == "addw":
+            return _sext(rs1 + rs2, 32) & _U64
+        if m == "subw":
+            return _sext(rs1 - rs2, 32) & _U64
+        if m == "sllw":
+            return _sext(rs1 << (rs2 & 31), 32) & _U64
+        if m == "srlw":
+            return _sext((rs1 & _U32) >> (rs2 & 31), 32) & _U64
+        if m == "sraw":
+            return _sext(_sext(rs1, 32) >> (rs2 & 31), 32) & _U64
+        if m == "addiw":
+            return _sext(rs1 + imm, 32) & _U64
+        if m == "slliw":
+            return _sext(rs1 << (imm & 31), 32) & _U64
+        if m == "srliw":
+            return _sext((rs1 & _U32) >> (imm & 31), 32) & _U64
+        if m == "sraiw":
+            return _sext(_sext(rs1, 32) >> (imm & 31), 32) & _U64
+        if m == "lui":
+            return (imm << 12) & _U64
+        if m == "auipc":
+            return (pc + (imm << 12)) & _U64
+        raise ExecutionError(f"unimplemented ALU op {m}")
+
+    @staticmethod
+    def _mul(m: str, rs1: int, rs2: int, s1: int, s2: int) -> int:
+        if m == "mul":
+            return s1 * s2
+        if m == "mulw":
+            return _sext(s1 * s2, 32) & _U64
+        if m == "mulh":
+            return ((s1 * s2) >> 64) & _U64
+        if m == "mulhu":
+            return ((rs1 * rs2) >> 64) & _U64
+        if m == "mulhsu":
+            return ((s1 * rs2) >> 64) & _U64
+        raise ExecutionError(f"unimplemented MUL op {m}")
+
+    @staticmethod
+    def _div(m: str, rs1: int, rs2: int, s1: int, s2: int) -> int:
+        def sdiv(a: int, b: int) -> int:
+            if b == 0:
+                return -1
+            q = abs(a) // abs(b)
+            return -q if (a < 0) != (b < 0) else q
+
+        def srem(a: int, b: int) -> int:
+            if b == 0:
+                return a
+            return a - sdiv(a, b) * b
+
+        if m == "div":
+            return sdiv(s1, s2) & _U64
+        if m == "divu":
+            return (_U64 if rs2 == 0 else rs1 // rs2) & _U64
+        if m == "rem":
+            return srem(s1, s2) & _U64
+        if m == "remu":
+            return (rs1 if rs2 == 0 else rs1 % rs2) & _U64
+        if m == "divw":
+            return _sext(sdiv(_sext(rs1, 32), _sext(rs2, 32)), 32) & _U64
+        if m == "divuw":
+            a, b = rs1 & _U32, rs2 & _U32
+            return _sext(_U32 if b == 0 else a // b, 32) & _U64
+        if m == "remw":
+            return _sext(srem(_sext(rs1, 32), _sext(rs2, 32)), 32) & _U64
+        if m == "remuw":
+            a, b = rs1 & _U32, rs2 & _U32
+            return _sext(a if b == 0 else a % b, 32) & _U64
+        raise ExecutionError(f"unimplemented DIV op {m}")
+
+    @staticmethod
+    def _branch_taken(m: str, rs1: int, rs2: int, s1: int, s2: int) -> bool:
+        if m == "beq":
+            return rs1 == rs2
+        if m == "bne":
+            return rs1 != rs2
+        if m == "blt":
+            return s1 < s2
+        if m == "bge":
+            return s1 >= s2
+        if m == "bltu":
+            return rs1 < rs2
+        if m == "bgeu":
+            return rs1 >= rs2
+        raise ExecutionError(f"unimplemented branch {m}")
+
+    def _fp_op(self, instr: Instruction, m: str, rs1_int: int) -> None:
+        f = self.fp_regs
+        if m == "fadd.d":
+            f[instr.rd] = f[instr.rs1] + f[instr.rs2]
+        elif m == "fsub.d":
+            f[instr.rd] = f[instr.rs1] - f[instr.rs2]
+        elif m == "fmul.d":
+            f[instr.rd] = f[instr.rs1] * f[instr.rs2]
+        elif m == "fdiv.d":
+            denom = f[instr.rs2]
+            f[instr.rd] = f[instr.rs1] / denom if denom else float("inf")
+        elif m == "fmin.d":
+            f[instr.rd] = min(f[instr.rs1], f[instr.rs2])
+        elif m == "fmax.d":
+            f[instr.rd] = max(f[instr.rs1], f[instr.rs2])
+        elif m == "fsqrt.d":
+            value = f[instr.rs1]
+            f[instr.rd] = value ** 0.5 if value >= 0 else float("nan")
+        elif m == "fmv.d.x":
+            f[instr.rd] = _bits2f(rs1_int)
+        elif m == "fmv.x.d":
+            self._write_int(instr.rd, _f2bits(f[instr.rs1]))
+        elif m == "fcvt.d.l":
+            f[instr.rd] = float(_to_signed64(rs1_int))
+        elif m == "fcvt.l.d":
+            self._write_int(instr.rd, int(f[instr.rs1]) & _U64)
+        elif m == "feq.d":
+            self._write_int(instr.rd, int(f[instr.rs1] == f[instr.rs2]))
+        elif m == "flt.d":
+            self._write_int(instr.rd, int(f[instr.rs1] < f[instr.rs2]))
+        elif m == "fle.d":
+            self._write_int(instr.rd, int(f[instr.rs1] <= f[instr.rs2]))
+        else:  # pragma: no cover
+            raise ExecutionError(f"unimplemented FP op {m}")
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _deps(instr: Instruction) -> Tuple[int, Tuple[int, ...]]:
+        """Unified (dest, sources) register ids for dependency tracking."""
+        spec = instr.spec
+        dest = NO_REG
+        if spec.writes_rd:
+            if spec.fp_rd:
+                dest = FP_REG_BASE + instr.rd
+            elif instr.rd != 0:
+                dest = instr.rd
+        srcs: List[int] = []
+        if spec.reads_rs1:
+            src = FP_REG_BASE + instr.rs1 if spec.fp_rs1 else instr.rs1
+            if spec.fp_rs1 or instr.rs1 != 0:
+                srcs.append(src)
+        if spec.reads_rs2:
+            src = FP_REG_BASE + instr.rs2 if spec.fp_rs2 else instr.rs2
+            if spec.fp_rs2 or instr.rs2 != 0:
+                srcs.append(src)
+        return dest, tuple(srcs)
+
+
+def execute(program: Program,
+            max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> DynamicTrace:
+    """Run *program* functionally and return its dynamic trace."""
+    return FunctionalExecutor(program, max_instructions=max_instructions).run()

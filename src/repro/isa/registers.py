@@ -1,0 +1,95 @@
+"""Register file definitions for the RV64 subset used by the Icicle reproduction.
+
+The paper's cores (Rocket and BOOM) implement RV64IMAFDC (Table IV).  The
+reproduction models the integer and floating-point register files that the
+workload suite and the functional executor need: 32 integer registers with
+their standard ABI names and 32 floating-point registers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+XLEN = 64
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Canonical ABI names for the 32 integer registers, indexed by number.
+INT_ABI_NAMES: List[str] = [
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+]
+
+#: Canonical ABI names for the 32 floating-point registers.
+FP_ABI_NAMES: List[str] = [
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1",
+    "fa0", "fa1", "fa2", "fa3", "fa4", "fa5", "fa6", "fa7",
+    "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9", "fs10", "fs11",
+    "ft8", "ft9", "ft10", "ft11",
+]
+
+
+def _build_name_table() -> Dict[str, int]:
+    table: Dict[str, int] = {}
+    for idx in range(NUM_INT_REGS):
+        table[f"x{idx}"] = idx
+        table[INT_ABI_NAMES[idx]] = idx
+    # "fp" is an alias for s0/x8 in the RISC-V psABI.
+    table["fp"] = 8
+    return table
+
+
+def _build_fp_name_table() -> Dict[str, int]:
+    table: Dict[str, int] = {}
+    for idx in range(NUM_FP_REGS):
+        table[f"f{idx}"] = idx
+        table[FP_ABI_NAMES[idx]] = idx
+    return table
+
+
+#: Lookup from any accepted integer register spelling to its index.
+INT_REG_NUMBERS: Dict[str, int] = _build_name_table()
+
+#: Lookup from any accepted floating-point register spelling to its index.
+FP_REG_NUMBERS: Dict[str, int] = _build_fp_name_table()
+
+
+def parse_int_reg(name: str) -> int:
+    """Return the register index for an integer register name.
+
+    Accepts both numeric (``x5``) and ABI (``t0``) spellings.
+
+    Raises:
+        KeyError: if the name is not an integer register.
+    """
+    return INT_REG_NUMBERS[name.strip().lower()]
+
+
+def parse_fp_reg(name: str) -> int:
+    """Return the register index for a floating-point register name."""
+    return FP_REG_NUMBERS[name.strip().lower()]
+
+
+def is_int_reg(name: str) -> bool:
+    """Return True when *name* spells an integer register."""
+    return name.strip().lower() in INT_REG_NUMBERS
+
+
+def is_fp_reg(name: str) -> bool:
+    """Return True when *name* spells a floating-point register."""
+    return name.strip().lower() in FP_REG_NUMBERS
+
+
+def int_reg_name(index: int) -> str:
+    """Return the ABI name for integer register *index*."""
+    return INT_ABI_NAMES[index]
+
+
+def fp_reg_name(index: int) -> str:
+    """Return the ABI name for floating-point register *index*."""
+    return FP_ABI_NAMES[index]

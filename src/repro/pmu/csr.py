@@ -1,0 +1,207 @@
+"""CSR-file model: the software-visible face of the PMU (§IV-D).
+
+Matches the privileged-spec layout the harness programs: ``mcycle`` /
+``minstret`` plus 29 programmable ``mhpmcounter3..31`` (31 counters
+total, as in Table IV), each with an ``mhpmevent`` selector holding an
+8-bit event-set ID and a 56-bit event mask, gated by ``mcountinhibit``.
+
+The increment logic behind each programmable counter is pluggable with
+the counter architectures of :mod:`repro.pmu.counters`:
+
+- ``classic`` — the Fig. 1 OR behaviour (+1 per cycle at most),
+- ``adders`` — multi-bit increment (exact popcount across mapped events),
+- ``distributed`` — local counters + rotating arbiter per counter, whose
+  software read needs the ×2^N post-processing.
+
+The CSR file is itself a :class:`~repro.cores.base.SignalObserver`, so
+attaching it to a core models in-band counting end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from ..isa.csrs import (FIRST_HPM_INDEX, LAST_HPM_INDEX, MCOUNTINHIBIT,
+                        MCYCLE, MINSTRET, mhpmcounter_addr, mhpmevent_addr)
+from .counters import _DistributedEventState, _validate_event_set
+from .events import Event, decode_selector
+
+#: Inhibit-register bit positions: bit 0 = mcycle, bit 2 = minstret,
+#: bits 3..31 = the programmable counters (bit 1 is reserved, as in the
+#: privileged spec).
+_CYCLE_BIT = 0
+_INSTRET_BIT = 2
+
+INCREMENT_MODES = ("classic", "adders", "distributed")
+
+
+class _ProgrammableCounter:
+    """One mhpmcounter with its selector and increment logic."""
+
+    def __init__(self, index: int, mode: str) -> None:
+        self.index = index
+        self.mode = mode
+        self.selector = 0
+        self.events: List[Event] = []
+        self.value = 0
+        self._distributed: Optional[_DistributedEventState] = None
+
+    def program(self, selector: int, core: str) -> None:
+        self.selector = selector
+        if selector == 0:
+            self.events = []
+            return
+        _, events = decode_selector(selector, core)
+        _validate_event_set(events, f"mhpmcounter{self.index}")
+        self.events = events
+        self.value = 0
+        self._distributed = None
+
+    def step(self, signals: Mapping[str, int]) -> None:
+        if not self.events:
+            return
+        if self.mode == "classic":
+            for event in self.events:
+                if signals.get(event.name, 0):
+                    self.value += 1
+                    return
+            return
+        if self.mode == "adders":
+            # The adder chain sums every source wire of every mapped
+            # event; narrower increment signals are zero-padded to the
+            # widest (the padding complication of §IV-B), which leaves
+            # the arithmetic an exact popcount.
+            increment = 0
+            for event in self.events:
+                increment += signals.get(event.name, 0).bit_count()
+            self.value += increment
+            return
+        # distributed: mapped events share the per-source local counters,
+        # so their lane masks OR together before counting.
+        combined = 0
+        for event in self.events:
+            combined |= signals.get(event.name, 0)
+        # distributed
+        if self._distributed is None or \
+                combined.bit_length() > self._distributed.sources:
+            sources = max(1, combined.bit_length())
+            fresh = _DistributedEventState(sources)
+            if self._distributed is not None:
+                carried = (self._distributed.principal
+                           * self._distributed.wrap
+                           + sum(self._distributed.locals_))
+                fresh.principal = carried // fresh.wrap
+                fresh.locals_[0] = carried % fresh.wrap
+            self._distributed = fresh
+        self._distributed.step(combined)
+        self.value = self._distributed.principal
+
+    def software_value(self) -> int:
+        """Raw CSR read (distributed values still need ×2^N scaling)."""
+        return self.value
+
+    def corrected_value(self) -> int:
+        """Post-processed value (the artifact's counter comparison)."""
+        if self.mode == "distributed" and self._distributed is not None:
+            return self.value * self._distributed.wrap
+        return self.value
+
+    def drain(self) -> None:
+        if self._distributed is not None:
+            for _ in range(self._distributed.sources):
+                self._distributed.step(0)
+            self.value = self._distributed.principal
+
+
+class CsrFile:
+    """The machine-mode counter CSRs plus inhibit/selector state."""
+
+    def __init__(self, core: str = "boom",
+                 increment_mode: str = "adders") -> None:
+        if increment_mode not in INCREMENT_MODES:
+            raise ValueError(
+                f"unknown increment mode {increment_mode!r}; "
+                f"choose from {INCREMENT_MODES}")
+        self.core = core
+        self.increment_mode = increment_mode
+        self.mcycle = 0
+        self.minstret = 0
+        # All counters start inhibited; step (4) of the harness clears
+        # the bits to start counting (§IV-D).
+        self.mcountinhibit = (1 << 32) - 1
+        self.counters: Dict[int, _ProgrammableCounter] = {
+            index: _ProgrammableCounter(index, increment_mode)
+            for index in range(FIRST_HPM_INDEX, LAST_HPM_INDEX + 1)}
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # software interface (CSR reads/writes by address)
+    # ------------------------------------------------------------------
+
+    def write(self, addr: int, value: int) -> None:
+        if addr == MCOUNTINHIBIT:
+            self.mcountinhibit = value
+            return
+        if addr == MCYCLE:
+            self.mcycle = value
+            return
+        if addr == MINSTRET:
+            self.minstret = value
+            return
+        for index, counter in self.counters.items():
+            if addr == mhpmevent_addr(index):
+                counter.program(value, self.core)
+                return
+            if addr == mhpmcounter_addr(index):
+                counter.value = value
+                return
+        # Unknown CSRs are ignored (WARL behaviour).
+
+    def read(self, addr: int) -> int:
+        if addr == MCOUNTINHIBIT:
+            return self.mcountinhibit
+        if addr == MCYCLE:
+            return self.mcycle
+        if addr == MINSTRET:
+            return self.minstret
+        for index, counter in self.counters.items():
+            if addr == mhpmevent_addr(index):
+                return counter.selector
+            if addr == mhpmcounter_addr(index):
+                return counter.software_value()
+        return 0
+
+    def inhibited(self, bit: int) -> bool:
+        return bool((self.mcountinhibit >> bit) & 1)
+
+    # ------------------------------------------------------------------
+    # hardware interface
+    # ------------------------------------------------------------------
+
+    def on_cycle(self, cycle: int, signals: Mapping[str, int]) -> None:
+        if not self.inhibited(_CYCLE_BIT):
+            self.mcycle += 1
+        if not self.inhibited(_INSTRET_BIT) \
+                and signals.get("instr_retired", 0):
+            self.minstret += signals["instr_retired"].bit_count()
+        for index, counter in self.counters.items():
+            if not self.inhibited(index):
+                counter.step(signals)
+
+    # ------------------------------------------------------------------
+    # convenience used by the harness
+    # ------------------------------------------------------------------
+
+    def counter_for(self, index: int) -> _ProgrammableCounter:
+        return self.counters[index]
+
+    def corrected_values(self) -> Dict[int, int]:
+        """Post-processed values of all programmed counters."""
+        return {index: counter.corrected_value()
+                for index, counter in self.counters.items()
+                if counter.events}
+
+    def drain(self) -> None:
+        """End-of-run arbiter drain for the distributed architecture."""
+        for counter in self.counters.values():
+            counter.drain()

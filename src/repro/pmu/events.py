@@ -1,0 +1,244 @@
+"""Performance event definitions for Rocket and BOOM (Table I).
+
+Events are grouped into *event sets* (Basic, Microarchitectural, Memory,
+and the TMA set added by Icicle).  A counter may be driven by any subset
+of events from a single event set (§II-A, Fig. 1); the hardware encoding
+is an 8-bit event-set ID plus a 56-bit event mask written to
+``mhpmeventN`` (§IV-D).
+
+Each event is identified by a stable string name; the core timing models
+emit a per-cycle bitmask of asserted source lanes for each event, and the
+counter architectures in :mod:`repro.pmu.counters` consume those masks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class EventSet(enum.IntEnum):
+    """Hardware event-set IDs (low byte of mhpmeventN)."""
+
+    BASIC = 0
+    MICROARCH = 1
+    MEMORY = 2
+    TMA = 3
+
+
+class TmaLevel(enum.Enum):
+    """Where in the TMA hierarchy an added event is consumed (Table I)."""
+
+    NONE = "none"
+    TOP = "top"       # dagger in Table I
+    LOWER = "lower"   # double-dagger in Table I
+
+
+@dataclass(frozen=True)
+class Event:
+    """One performance event.
+
+    Attributes:
+        name: stable identifier, also the signal name the cores emit.
+        event_set: hardware event set the event belongs to.
+        bit: bit position inside the set's 56-bit mask.
+        is_new: True for the events Icicle adds (starred in Table I).
+        tma_level: TMA hierarchy level the event feeds.
+        per_lane: True when the event has one source per pipeline lane
+            (the width is core-config dependent); False for single-source
+            events.
+        description: human-readable summary.
+    """
+
+    name: str
+    event_set: EventSet
+    bit: int
+    is_new: bool = False
+    tma_level: TmaLevel = TmaLevel.NONE
+    per_lane: bool = False
+    description: str = ""
+
+    @property
+    def selector(self) -> int:
+        """The mhpmevent encoding selecting exactly this event."""
+        return int(self.event_set) | (1 << (8 + self.bit))
+
+
+def _build(events: List[Event]) -> Dict[str, Event]:
+    table: Dict[str, Event] = {}
+    used: Dict[Tuple[EventSet, int], str] = {}
+    for event in events:
+        if event.name in table:
+            raise ValueError(f"duplicate event {event.name}")
+        key = (event.event_set, event.bit)
+        if key in used:
+            raise ValueError(
+                f"events {used[key]} and {event.name} share bit {key}")
+        used[key] = event.name
+        table[event.name] = event
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Rocket events (Table I, upper half).  The three starred TMA events are
+# the ones Icicle adds to Rocket.
+# ---------------------------------------------------------------------------
+
+ROCKET_EVENTS: Dict[str, Event] = _build([
+    # Basic set.
+    Event("cycles", EventSet.BASIC, 0, description="core clock cycles"),
+    Event("instr_retired", EventSet.BASIC, 1,
+          description="architecturally retired instructions"),
+    Event("load", EventSet.BASIC, 2, description="retired loads"),
+    Event("store", EventSet.BASIC, 3, description="retired stores"),
+    Event("atomic", EventSet.BASIC, 4, description="retired AMOs"),
+    Event("system", EventSet.BASIC, 5, description="retired system instrs"),
+    Event("arith", EventSet.BASIC, 6, description="retired arithmetic"),
+    Event("branch", EventSet.BASIC, 7, description="retired branches"),
+    Event("fence", EventSet.BASIC, 8, tma_level=TmaLevel.TOP,
+          description="retired fences (used for M_tf)"),
+    # Microarchitectural set.
+    Event("load_use_interlock", EventSet.MICROARCH, 0,
+          description="load-use interlock stall cycles"),
+    Event("long_latency_interlock", EventSet.MICROARCH, 1,
+          description="long-latency writeback interlock cycles"),
+    Event("csr_interlock", EventSet.MICROARCH, 2,
+          description="CSR access interlock cycles"),
+    Event("icache_blocked", EventSet.MICROARCH, 3,
+          description="cycles frontend blocked on I$ refill"),
+    Event("dcache_blocked", EventSet.MICROARCH, 4,
+          description="cycles pipeline blocked on D$"),
+    Event("cobr_mispredict", EventSet.MICROARCH, 5,
+          description="conditional branch direction mispredicts"),
+    Event("flush", EventSet.MICROARCH, 6,
+          description="pipeline machine flushes"),
+    Event("replay", EventSet.MICROARCH, 7,
+          description="instruction replays"),
+    Event("cf_target_mispredict", EventSet.MICROARCH, 8,
+          description="control-flow target mispredicts"),
+    Event("muldiv_interlock", EventSet.MICROARCH, 9,
+          description="mul/div busy interlock cycles"),
+    Event("cf_interlock", EventSet.MICROARCH, 10,
+          description="control-flow interlock cycles"),
+    # Memory set.
+    Event("icache_miss", EventSet.MEMORY, 0, description="L1I misses"),
+    Event("dcache_miss", EventSet.MEMORY, 1, description="L1D misses"),
+    Event("dcache_release", EventSet.MEMORY, 2,
+          description="L1D writebacks/releases"),
+    Event("itlb_miss", EventSet.MEMORY, 3, description="ITLB misses"),
+    Event("dtlb_miss", EventSet.MEMORY, 4, description="DTLB misses"),
+    Event("l2_tlb_miss", EventSet.MEMORY, 5, description="L2 TLB misses"),
+    # TMA set — the events this work adds to Rocket (§IV-A).
+    Event("instr_issued", EventSet.TMA, 0, is_new=True,
+          tma_level=TmaLevel.TOP,
+          description="instructions entering execute (incl. later flushed)"),
+    Event("fetch_bubbles", EventSet.TMA, 1, is_new=True,
+          tma_level=TmaLevel.TOP,
+          description="decode ready but IBuf invalid, not recovering"),
+    Event("recovering", EventSet.TMA, 2, is_new=True,
+          tma_level=TmaLevel.TOP,
+          description="cycles from flush until next valid fetch"),
+])
+
+
+# ---------------------------------------------------------------------------
+# BOOM events (Table I, lower half).  The seven starred TMA events are the
+# ones Icicle adds to BOOM.
+# ---------------------------------------------------------------------------
+
+BOOM_EVENTS: Dict[str, Event] = _build([
+    # Basic set.
+    Event("cycles", EventSet.BASIC, 0, description="core clock cycles"),
+    Event("instr_retired", EventSet.BASIC, 1,
+          description="architecturally retired instructions"),
+    Event("exception", EventSet.BASIC, 2, description="taken exceptions"),
+    # Microarchitectural set.
+    Event("br_mispredict", EventSet.MICROARCH, 0, tma_level=TmaLevel.TOP,
+          description="branch direction mispredicts"),
+    Event("cf_target_mispredict", EventSet.MICROARCH, 1,
+          description="control-flow target mispredicts"),
+    Event("flush", EventSet.MICROARCH, 2, tma_level=TmaLevel.TOP,
+          description="machine clears (backend-originated flushes)"),
+    Event("branch_resolved", EventSet.MICROARCH, 3,
+          description="branches resolved in execute"),
+    # Memory set.
+    Event("icache_miss", EventSet.MEMORY, 0, description="L1I misses"),
+    Event("dcache_miss", EventSet.MEMORY, 1, description="L1D misses"),
+    Event("dcache_release", EventSet.MEMORY, 2,
+          description="L1D writebacks/releases"),
+    Event("itlb_miss", EventSet.MEMORY, 3, description="ITLB misses"),
+    Event("dtlb_miss", EventSet.MEMORY, 4, description="DTLB misses"),
+    Event("l2_tlb_miss", EventSet.MEMORY, 5, description="L2 TLB misses"),
+    # TMA set — the events this work adds to BOOM (§IV-A).
+    Event("uops_issued", EventSet.TMA, 0, is_new=True,
+          tma_level=TmaLevel.TOP, per_lane=True,
+          description="valid signals out of the issue queues (W_I lanes)"),
+    Event("fetch_bubbles", EventSet.TMA, 1, is_new=True,
+          tma_level=TmaLevel.TOP, per_lane=True,
+          description="decoder lane ready but no valid uop, not recovering"),
+    Event("recovering", EventSet.TMA, 2, is_new=True,
+          tma_level=TmaLevel.TOP,
+          description="cycles from flush until a valid fetch packet"),
+    Event("uops_retired", EventSet.TMA, 3, is_new=True,
+          tma_level=TmaLevel.TOP, per_lane=True,
+          description="ROB commit signals (W_C lanes)"),
+    Event("fence_retired", EventSet.TMA, 4, is_new=True,
+          tma_level=TmaLevel.TOP,
+          description="retired fences (intended flushes)"),
+    Event("icache_blocked", EventSet.TMA, 5, is_new=True,
+          tma_level=TmaLevel.LOWER,
+          description="I$ refill in flight and fetch buffer empty"),
+    Event("dcache_blocked", EventSet.TMA, 6, is_new=True,
+          tma_level=TmaLevel.LOWER, per_lane=True,
+          description="issue slot empty, queue non-empty, MSHR busy"),
+])
+
+
+def events_for_core(core: str) -> Dict[str, Event]:
+    """Return the event registry for ``"rocket"`` or ``"boom"``."""
+    if core == "rocket":
+        return ROCKET_EVENTS
+    if core == "boom":
+        return BOOM_EVENTS
+    raise ValueError(f"unknown core {core!r}")
+
+
+def new_events_for_core(core: str) -> List[Event]:
+    """The events Icicle adds (3 for Rocket, 7 for BOOM)."""
+    return [e for e in events_for_core(core).values() if e.is_new]
+
+
+def decode_selector(selector: int, core: str) -> Tuple[EventSet, List[Event]]:
+    """Decode an mhpmevent selector into (event_set, selected_events)."""
+    event_set = EventSet(selector & 0xFF)
+    mask = selector >> 8
+    selected = [e for e in events_for_core(core).values()
+                if e.event_set == event_set and (mask >> e.bit) & 1]
+    return event_set, selected
+
+
+def encode_selector(event_names: List[str], core: str) -> int:
+    """Encode a list of same-set event names into an mhpmevent selector.
+
+    Raises:
+        ValueError: if the events span multiple event sets (the hardware
+            constraint of §II-A) or a name is unknown.
+    """
+    registry = events_for_core(core)
+    if not event_names:
+        raise ValueError("at least one event required")
+    events = []
+    for name in event_names:
+        if name not in registry:
+            raise ValueError(f"unknown event {name!r} for {core}")
+        events.append(registry[name])
+    sets = {e.event_set for e in events}
+    if len(sets) > 1:
+        raise ValueError(
+            f"events {event_names} span multiple event sets {sets}; "
+            "a counter can only mix events from one set")
+    selector = int(events[0].event_set)
+    for event in events:
+        selector |= 1 << (8 + event.bit)
+    return selector

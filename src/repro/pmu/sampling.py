@@ -1,0 +1,132 @@
+"""Single-run counter multiplexing (time-division sampling).
+
+Proprietary processors amortize the cost of scarce counters by
+time-multiplexing event sets within one run and scaling the counts back
+up (§I cites the resulting non-determinism as an accepted trade-off).
+The deterministic simulator makes this a measurable design point: the
+:class:`MultiplexedCsrFile` rotates counter groups every ``interval``
+cycles, tracks each group's active-cycle share, and extrapolates —
+exactly what ``perf`` does when events exceed hardware counters.
+
+Because the reproduction can also measure the *exact* values (one event
+per counter across multiple deterministic passes), the sampling error is
+directly quantifiable; ``benchmarks/bench_ablation_sampling.py`` sweeps
+the rotation interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from ..workloads import build_trace
+from .events import events_for_core
+from .harness import CoreConfig, make_core
+
+
+class MultiplexedCsrFile:
+    """Observer that rotates event groups through one physical counter.
+
+    Each group of events gets a time slice of ``interval`` cycles in
+    round-robin order.  At the end of the run, every event's raw count
+    is scaled by (total cycles / cycles its group was active).
+    """
+
+    def __init__(self, core: str, groups: Sequence[Sequence[str]],
+                 interval: int = 1000,
+                 increment_mode: str = "adders") -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if not groups:
+            raise ValueError("at least one event group required")
+        registry = events_for_core(core)
+        for group in groups:
+            for name in group:
+                if name not in registry:
+                    raise ValueError(f"unknown event {name!r}")
+        self.core = core
+        self.groups = [list(group) for group in groups]
+        self.interval = interval
+        self.increment_mode = increment_mode
+        self._raw: Dict[str, int] = {name: 0 for group in groups
+                                     for name in group}
+        self._active_cycles: List[int] = [0] * len(groups)
+        self.total_cycles = 0
+
+    def _active_group(self, cycle: int) -> int:
+        return (cycle // self.interval) % len(self.groups)
+
+    def on_cycle(self, cycle: int, signals: Mapping[str, int]) -> None:
+        self.total_cycles += 1
+        index = self._active_group(cycle)
+        self._active_cycles[index] += 1
+        for name in self.groups[index]:
+            mask = signals.get(name, 0)
+            if mask:
+                if self.increment_mode == "classic":
+                    self._raw[name] += 1
+                else:
+                    self._raw[name] += mask.bit_count()
+
+    def raw_count(self, name: str) -> int:
+        return self._raw[name]
+
+    def estimated_count(self, name: str) -> float:
+        """Scale the sampled count to the whole run (perf-style)."""
+        for index, group in enumerate(self.groups):
+            if name in group:
+                active = self._active_cycles[index]
+                if active == 0:
+                    return 0.0
+                return self._raw[name] * self.total_cycles / active
+        raise KeyError(name)
+
+    def coverage(self, name: str) -> float:
+        """Fraction of cycles the event's group was being counted."""
+        for index, group in enumerate(self.groups):
+            if name in group:
+                if self.total_cycles == 0:
+                    return 0.0
+                return self._active_cycles[index] / self.total_cycles
+        raise KeyError(name)
+
+
+@dataclass
+class SamplingComparison:
+    """Exact vs sampled counts for one event."""
+
+    event: str
+    exact: int
+    estimated: float
+    coverage: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.exact == 0:
+            return 0.0 if self.estimated == 0 else float("inf")
+        return (self.estimated - self.exact) / self.exact
+
+
+def measure_sampled(workload: str, config: CoreConfig,
+                    groups: Sequence[Sequence[str]],
+                    interval: int = 1000,
+                    scale: float = 1.0) -> List[SamplingComparison]:
+    """One run with multiplexed counters, compared against ground truth.
+
+    The exact counts come from the core's own accumulation in the same
+    run (the simulator equivalent of a second fully-instrumented pass).
+    """
+    trace = build_trace(workload, scale=scale)
+    core_model = make_core(config)
+    mux = MultiplexedCsrFile(config.core, groups, interval=interval)
+    core_model.add_observer(mux)
+    result = core_model.run(trace)
+    comparisons = []
+    for group in groups:
+        for event in group:
+            comparisons.append(SamplingComparison(
+                event=event,
+                exact=result.event(event),
+                estimated=mux.estimated_count(event),
+                coverage=mux.coverage(event)))
+    return comparisons

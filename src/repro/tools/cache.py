@@ -1,0 +1,129 @@
+"""Disk cache for core-model runs.
+
+Cycle-level simulation is the expensive step of the pipeline, so results
+are cached as JSON keyed by (workload, scale, config, model fingerprint).
+The fingerprint hashes the source of every module that influences timing,
+so editing the simulator invalidates stale results automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..cores.base import BoomConfig, CoreResult, RocketConfig
+from ..uarch.branch import PredictorStats
+from ..uarch.cache import CacheStats
+
+_CACHE_ENV = "REPRO_CACHE_DIR"
+_DEFAULT_CACHE = Path(__file__).resolve().parents[3] / ".cache" / "results"
+
+_FINGERPRINT_MODULES = (
+    "repro.isa.executor", "repro.isa.assembler", "repro.isa.instructions",
+    "repro.uarch.cache", "repro.uarch.branch", "repro.uarch.tlb",
+    "repro.cores.base", "repro.cores.rocket.core", "repro.cores.boom.core",
+    "repro.workloads.micro", "repro.workloads.spec",
+    "repro.workloads.casestudy", "repro.workloads.data",
+)
+
+_fingerprint_cache: Optional[str] = None
+
+
+def model_fingerprint() -> str:
+    """Hash of every timing-relevant module's source."""
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        import importlib
+
+        digest = hashlib.sha256()
+        for module_name in _FINGERPRINT_MODULES:
+            module = importlib.import_module(module_name)
+            path = getattr(module, "__file__", None)
+            if path and os.path.exists(path):
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _fingerprint_cache = digest.hexdigest()[:16]
+    return _fingerprint_cache
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get(_CACHE_ENV, _DEFAULT_CACHE))
+
+
+def _config_key(config: Union[RocketConfig, BoomConfig]) -> str:
+    payload = asdict(config)
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def cache_key(workload: str, scale: float,
+              config: Union[RocketConfig, BoomConfig]) -> str:
+    digest = hashlib.sha256()
+    digest.update(model_fingerprint().encode())
+    digest.update(workload.encode())
+    digest.update(f"{scale:.6f}".encode())
+    digest.update(_config_key(config).encode())
+    return digest.hexdigest()[:24]
+
+
+def _serialize(result: CoreResult) -> Dict[str, Any]:
+    return {
+        "workload": result.workload,
+        "config_name": result.config_name,
+        "core": result.core,
+        "cycles": result.cycles,
+        "instret": result.instret,
+        "events": result.events,
+        "lane_events": result.lane_events,
+        "commit_width": result.commit_width,
+        "issue_width": result.issue_width,
+        "l1i_stats": asdict(result.l1i_stats),
+        "l1d_stats": asdict(result.l1d_stats),
+        "l2_stats": asdict(result.l2_stats),
+        "predictor_stats": asdict(result.predictor_stats),
+        "extra": result.extra,
+    }
+
+
+def _deserialize(payload: Dict[str, Any]) -> CoreResult:
+    return CoreResult(
+        workload=payload["workload"],
+        config_name=payload["config_name"],
+        core=payload["core"],
+        cycles=payload["cycles"],
+        instret=payload["instret"],
+        events={k: int(v) for k, v in payload["events"].items()},
+        lane_events={k: [int(x) for x in v]
+                     for k, v in payload["lane_events"].items()},
+        commit_width=payload["commit_width"],
+        issue_width=payload["issue_width"],
+        l1i_stats=CacheStats(**payload["l1i_stats"]),
+        l1d_stats=CacheStats(**payload["l1d_stats"]),
+        l2_stats=CacheStats(**payload["l2_stats"]),
+        predictor_stats=PredictorStats(**payload["predictor_stats"]),
+        extra=payload.get("extra", {}),
+    )
+
+
+def load(key: str) -> Optional[CoreResult]:
+    path = cache_dir() / f"{key}.json"
+    if not path.exists():
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return _deserialize(json.load(handle))
+    except (json.JSONDecodeError, KeyError, TypeError):
+        return None  # treat corrupt entries as misses
+
+
+def store(key: str, result: CoreResult) -> None:
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{key}.json"
+    tmp_path = path.with_suffix(".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(_serialize(result), handle)
+    os.replace(tmp_path, path)

@@ -1,0 +1,264 @@
+"""Command-line interface: the reproduction's ``tma_tool``.
+
+Mirrors the artifact's ``tma_tool`` commands::
+
+    python -m repro.tools.cli list
+    python -m repro.tools.cli tma --workload qsort --config large-boom
+    python -m repro.tools.cli suite --category micro --config rocket
+    python -m repro.tools.cli trace --workload mergesort --config rocket \
+        --signals icache_miss,fetch_bubbles --window 120
+    python -m repro.tools.cli vlsi
+    python -m repro.tools.cli perf --workload coremark --events \
+        uops_issued,uops_retired --counter-arch distributed
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..core import (compute_tma, render_breakdown_table, render_result,
+                    to_csv, to_json)
+from ..cores import CONFIGS_BY_NAME, config_by_name
+from ..cores.base import RocketConfig
+from ..pmu import PerfHarness
+from ..pmu.harness import make_core
+from ..trace import (boom_tma_bundle, capture_trace, find_first,
+                     render_raster, rocket_tma_bundle)
+from ..vlsi import ARCHITECTURES, sweep
+from ..workloads import build_trace, get_workload, workload_names
+from .tma_tool import run_suite, run_tma
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", default="large-boom",
+                        choices=sorted(CONFIGS_BY_NAME),
+                        help="core configuration (Table IV)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name in workload_names(args.category):
+        workload = get_workload(name)
+        print(f"{name:<20s} [{workload.category}] "
+              f"{workload.description}")
+    return 0
+
+
+def _cmd_tma(args: argparse.Namespace) -> int:
+    config = config_by_name(args.config)
+    result = run_tma(args.workload, config, scale=args.scale,
+                     use_cache=not args.no_cache)
+    print(render_result(result, show_level2=not args.top_only))
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    config = config_by_name(args.config)
+    names = workload_names(args.category)
+    results = run_suite(names, config, scale=args.scale,
+                        use_cache=not args.no_cache)
+    print(render_breakdown_table(
+        results,
+        title=f"{args.category or 'all'} suite on {config.name}"))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(to_json(results))
+        print(f"wrote {args.json}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(to_csv(results))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_mix(args: argparse.Namespace) -> int:
+    trace = build_trace(args.workload, scale=args.scale)
+    histogram = trace.class_histogram()
+    total = len(trace)
+    print(f"instruction mix: {args.workload} "
+          f"({total} dynamic instructions)")
+    for cls, count in sorted(histogram.items(),
+                             key=lambda kv: -kv[1]):
+        print(f"  {cls.value:<10s}{count:>8d}  {100 * count / total:6.2f}%")
+    summary = trace.mispredictable_summary()
+    print(f"  branches: {summary['branches']} "
+          f"({summary['taken']} taken)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = config_by_name(args.config)
+    core = make_core(config)
+    if isinstance(config, RocketConfig):
+        bundle = rocket_tma_bundle()
+    else:
+        bundle = boom_tma_bundle(config.decode_width, config.issue_width)
+    trace = build_trace(args.workload, scale=args.scale)
+    tracer = capture_trace(core, trace, bundle)
+    signals = {f.name: tracer.signal(f.name) for f in bundle.fields}
+    names = (args.signals.split(",") if args.signals
+             else [f.name for f in bundle.fields])
+    for name in names:
+        if name not in bundle:
+            print(f"unknown signal {name!r}; bundle has "
+                  f"{[f.name for f in bundle.fields]}", file=sys.stderr)
+            return 1
+    start = args.start
+    if start < 0:
+        anchor = find_first(signals, names[0])
+        start = max(0, (anchor or 0) - 5)
+    print(render_raster(signals, names, start, start + args.window))
+    return 0
+
+
+def _cmd_vlsi(args: argparse.Namespace) -> int:
+    grid = sweep()
+    print(f"{'config':<14s}{'arch':<13s}{'power%':>8s}{'area%':>8s}"
+          f"{'wire%':>8s}{'csr ns':>8s}{'norm':>7s}")
+    for name, per_arch in grid.items():
+        base = per_arch["baseline"]
+        for arch in ARCHITECTURES:
+            result = per_arch[arch]
+            print(f"{name:<14s}{arch:<13s}"
+                  f"{100 * result.power_overhead:8.2f}"
+                  f"{100 * result.area_overhead:8.2f}"
+                  f"{100 * result.wirelength_overhead:8.2f}"
+                  f"{result.longest_csr_path_ns:8.3f}"
+                  f"{result.normalized_csr_path(base):7.3f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    out_dir = Path(args.artifacts)
+    if not out_dir.is_dir():
+        print(f"no artifacts at {out_dir}; run "
+              "`pytest benchmarks/ --benchmark-only` first",
+              file=sys.stderr)
+        return 1
+    sections = sorted(out_dir.glob("*.txt"))
+    if not sections:
+        print(f"no .txt artifacts in {out_dir}", file=sys.stderr)
+        return 1
+    lines = ["# Reproduction report", "",
+             "Collated from the benchmark harness's rendered artifacts "
+             f"({len(sections)} experiments).", ""]
+    for section in sections:
+        lines.append(f"## {section.stem}")
+        lines.append("")
+        lines.append("```")
+        lines.append(section.read_text(encoding="utf-8").rstrip())
+        lines.append("```")
+        lines.append("")
+    report = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.output} ({len(sections)} sections)")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    config = config_by_name(args.config)
+    harness = PerfHarness(core=config.core,
+                          increment_mode=args.counter_arch,
+                          mode=args.mode)
+    events = args.events.split(",") if args.events else None
+    measurement = harness.measure(args.workload, config,
+                                  event_names=events, scale=args.scale)
+    print(f"workload={measurement.workload} config={config.name} "
+          f"mode={args.mode} arch={args.counter_arch} "
+          f"passes={measurement.passes}")
+    print(f"cycles={measurement.cycles} instret={measurement.instret} "
+          f"IPC={measurement.ipc:.3f}")
+    for name, value in sorted(measurement.events.items()):
+        print(f"  {name:<24s}{value}")
+    if args.show_tma:
+        print()
+        print(render_result(compute_tma(measurement)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tma_tool", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered workloads")
+    p_list.add_argument("--category", default=None,
+                        choices=["micro", "spec", "case-study"])
+    p_list.set_defaults(func=_cmd_list)
+
+    p_tma = sub.add_parser("tma", help="TMA report for one workload")
+    p_tma.add_argument("--workload", required=True)
+    p_tma.add_argument("--top-only", action="store_true")
+    _add_common(p_tma)
+    p_tma.set_defaults(func=_cmd_tma)
+
+    p_suite = sub.add_parser("suite", help="TMA table for a suite")
+    p_suite.add_argument("--category", default="micro",
+                         choices=["micro", "spec", "case-study"])
+    p_suite.add_argument("--json", default=None,
+                         help="also write the results as JSON")
+    p_suite.add_argument("--csv", default=None,
+                         help="also write the results as CSV")
+    _add_common(p_suite)
+    p_suite.set_defaults(func=_cmd_suite)
+
+    p_mix = sub.add_parser("mix", help="dynamic instruction mix")
+    p_mix.add_argument("--workload", required=True)
+    p_mix.add_argument("--scale", type=float, default=1.0)
+    p_mix.set_defaults(func=_cmd_mix)
+
+    p_trace = sub.add_parser("trace", help="render a trace raster")
+    p_trace.add_argument("--workload", required=True)
+    p_trace.add_argument("--signals", default=None,
+                         help="comma-separated signal names")
+    p_trace.add_argument("--start", type=int, default=-1,
+                         help="first cycle (-1: anchor at first event)")
+    p_trace.add_argument("--window", type=int, default=80)
+    _add_common(p_trace)
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_vlsi = sub.add_parser("vlsi", help="Fig. 9 overhead sweep")
+    p_vlsi.set_defaults(func=_cmd_vlsi)
+
+    p_report = sub.add_parser(
+        "report", help="collate benchmark artifacts into one markdown")
+    p_report.add_argument("--artifacts", default="benchmarks/out",
+                          help="directory of rendered artifacts")
+    p_report.add_argument("--output", default=None,
+                          help="write to a file instead of stdout")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_perf = sub.add_parser("perf", help="measure through the PMU stack")
+    p_perf.add_argument("--workload", required=True)
+    p_perf.add_argument("--events", default=None,
+                        help="comma-separated event names")
+    p_perf.add_argument("--counter-arch", default="adders",
+                        choices=["classic", "adders", "distributed"])
+    p_perf.add_argument("--mode", default="baremetal",
+                        choices=["baremetal", "linux"])
+    p_perf.add_argument("--show-tma", action="store_true")
+    _add_common(p_perf)
+    p_perf.set_defaults(func=_cmd_perf)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""Terminal plotting helpers: sparklines, bar charts, stacked series.
+
+The artifact's ``tma_tool`` produces matplotlib figures; the
+reproduction renders the same series for a terminal.  These helpers are
+deliberately dependency-free (no matplotlib offline) and deterministic,
+so tests can assert on their output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float],
+              maximum: Optional[float] = None) -> str:
+    """One-line sparkline; scales to *maximum* (default: series max)."""
+    if not values:
+        return ""
+    top = maximum if maximum is not None else max(values)
+    if top <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    out = []
+    for value in values:
+        level = int(round((len(_SPARK_LEVELS) - 1)
+                          * max(0.0, min(1.0, value / top))))
+        out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def hbar_chart(rows: Mapping[str, float], width: int = 40,
+               maximum: Optional[float] = None,
+               fmt: str = "{:8.2f}") -> str:
+    """Horizontal bar chart, one labelled row per entry."""
+    if not rows:
+        return ""
+    top = maximum if maximum is not None else max(rows.values())
+    label_width = max(len(name) for name in rows) + 2
+    lines = []
+    for name, value in rows.items():
+        filled = 0 if top <= 0 else int(round(
+            width * max(0.0, min(1.0, value / top))))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{name:<{label_width}s}|{bar}| "
+                     + fmt.format(value))
+    return "\n".join(lines)
+
+
+def stacked_series(series: Mapping[str, Sequence[float]],
+                   width: Optional[int] = None) -> str:
+    """Multiple aligned sparklines sharing a common 0..1 scale.
+
+    Intended for TMA phase profiles: one row per class, one column per
+    window, all scaled to 1.0 (a slot fraction).
+    """
+    if not series:
+        return ""
+    label_width = max(len(name) for name in series) + 2
+    lines = []
+    for name, values in series.items():
+        values = list(values)
+        if width is not None:
+            values = values[:width]
+        lines.append(f"{name:<{label_width}s}"
+                     f"{sparkline(values, maximum=1.0)}")
+    return "\n".join(lines)
+
+
+def percent_axis(count: int, step: int = 10) -> str:
+    """A crude column ruler to print under a phase profile."""
+    ruler = []
+    for index in range(count):
+        ruler.append("|" if index % step == 0 else "-")
+    return "".join(ruler)

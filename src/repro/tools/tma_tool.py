@@ -1,0 +1,78 @@
+"""``tma_tool``: the one-call workload -> TMA pipeline.
+
+This is the reproduction's equivalent of the artifact's ``tma_tool``
+commands: it assembles the workload, functionally executes it, replays
+the trace through the requested core model (with disk-cached results),
+and applies the TMA model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from ..core.tma import TmaResult, compute_tma
+from ..cores.base import BoomConfig, CoreResult, RocketConfig
+from ..cores.boom import BoomCore
+from ..cores.configs import LARGE_BOOM, ROCKET
+from ..cores.rocket import RocketCore
+from ..uarch.cache import CacheConfig
+from ..workloads import build_trace, workload_names
+from . import cache
+
+CoreConfig = Union[RocketConfig, BoomConfig]
+
+
+def run_core(workload: str, config: CoreConfig, scale: float = 1.0,
+             use_cache: bool = True) -> CoreResult:
+    """Replay *workload* through the timing model for *config*.
+
+    Results are cached on disk keyed by a fingerprint of every module
+    that influences timing, so repeated benchmark runs are cheap.
+    """
+    key = cache.cache_key(workload, scale, config)
+    if use_cache:
+        cached = cache.load(key)
+        if cached is not None:
+            return cached
+    trace = build_trace(workload, scale=scale)
+    if isinstance(config, RocketConfig):
+        core = RocketCore(config)
+    else:
+        core = BoomCore(config)
+    result = core.run(trace)
+    if use_cache:
+        cache.store(key, result)
+    return result
+
+
+def run_tma(workload: str, config: CoreConfig = LARGE_BOOM,
+            scale: float = 1.0, use_cache: bool = True) -> TmaResult:
+    """End-to-end: workload name + core config -> TMA classification."""
+    return compute_tma(run_core(workload, config, scale=scale,
+                                use_cache=use_cache))
+
+
+def run_suite(workloads: Sequence[str], config: CoreConfig,
+              scale: float = 1.0,
+              use_cache: bool = True) -> List[TmaResult]:
+    """TMA for a list of workloads on one configuration."""
+    return [run_tma(name, config, scale=scale, use_cache=use_cache)
+            for name in workloads]
+
+
+def micro_suite() -> List[str]:
+    """The microbenchmark list shown in Fig. 7a/k."""
+    return workload_names("micro")
+
+
+def spec_suite() -> List[str]:
+    """The SPEC CPU2017 intrate proxy list shown in Fig. 7g."""
+    return workload_names("spec")
+
+
+def rocket_with_l1d(size_kib: int) -> RocketConfig:
+    """A Rocket config with a resized L1 D-cache (Rocket CS1)."""
+    from dataclasses import replace
+
+    l1d = CacheConfig("L1D", size_kib * 1024, 8, 64, hit_latency=2)
+    return replace(ROCKET, name=f"Rocket-{size_kib}KiB-L1D", l1d=l1d)

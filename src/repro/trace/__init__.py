@@ -1,0 +1,44 @@
+"""Microarchitectural event tracing and the temporal-TMA analyzer."""
+
+from .analyzer import (DEFAULT_WINDOW_PAD, OverlapReport, RecoverySequence,
+                       TemporalTma, analyze_overlap,
+                       check_fetch_bubble_formula, find_first, length_cdf,
+                       modal_length, recovery_sequences, render_raster,
+                       temporal_tma, validate_against_counters,
+                       windowed_tma)
+from .autocounter import (AutoCounter, AutoCounterSample,
+                          CounterAnnotation)
+from .bundle import (TraceBundle, TraceField, boom_tma_bundle,
+                     rocket_frontend_bundle, rocket_tma_bundle)
+from .tracer import (CycleTracer, DEFAULT_CHUNK_CYCLES, DmaTraceReader,
+                     TraceBridge, capture_trace)
+
+__all__ = [
+    "AutoCounter",
+    "AutoCounterSample",
+    "CounterAnnotation",
+    "CycleTracer",
+    "DEFAULT_CHUNK_CYCLES",
+    "DEFAULT_WINDOW_PAD",
+    "DmaTraceReader",
+    "OverlapReport",
+    "RecoverySequence",
+    "TemporalTma",
+    "TraceBridge",
+    "TraceBundle",
+    "TraceField",
+    "analyze_overlap",
+    "boom_tma_bundle",
+    "capture_trace",
+    "check_fetch_bubble_formula",
+    "find_first",
+    "length_cdf",
+    "modal_length",
+    "recovery_sequences",
+    "render_raster",
+    "rocket_frontend_bundle",
+    "rocket_tma_bundle",
+    "temporal_tma",
+    "validate_against_counters",
+    "windowed_tma",
+]

@@ -1,0 +1,118 @@
+"""TraceBundle: which signals a microarchitectural trace carries (§IV-C).
+
+The paper's TracerV extension streams a chosen set of per-cycle signals
+over the bridge; the host-side analyzer needs "a matching type definition
+for each bit in the trace".  :class:`TraceBundle` is that type
+definition: an ordered list of (signal name, bit width) pairs that both
+the encoder and decoder share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TraceField:
+    """One signal in the bundle: name plus its lane width in bits."""
+
+    name: str
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.width > 64:
+            raise ValueError(f"field {self.name!r}: width must be 1..64")
+
+
+class TraceBundle:
+    """Ordered, fixed-layout set of traced signals."""
+
+    def __init__(self, fields: Sequence[TraceField], name: str = "trace"):
+        if not fields:
+            raise ValueError("a trace bundle needs at least one field")
+        names = [field.name for field in fields]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate field names in bundle")
+        self.name = name
+        self.fields: Tuple[TraceField, ...] = tuple(fields)
+        self._offsets: Dict[str, Tuple[int, int]] = {}
+        offset = 0
+        for field in self.fields:
+            self._offsets[field.name] = (offset, field.width)
+            offset += field.width
+        self.bits_per_cycle = offset
+        self.bytes_per_cycle = (offset + 7) // 8
+
+    def offset_of(self, name: str) -> Tuple[int, int]:
+        """(bit offset, width) of *name* within a cycle record."""
+        return self._offsets[name]
+
+    def pack(self, signals: Dict[str, int]) -> int:
+        """Pack one cycle's lane masks into a single integer record."""
+        record = 0
+        for field in self.fields:
+            mask = signals.get(field.name, 0) & ((1 << field.width) - 1)
+            offset, _ = self._offsets[field.name]
+            record |= mask << offset
+        return record
+
+    def unpack(self, record: int) -> Dict[str, int]:
+        """Inverse of :meth:`pack`."""
+        signals: Dict[str, int] = {}
+        for field in self.fields:
+            offset, width = self._offsets[field.name]
+            signals[field.name] = (record >> offset) & ((1 << width) - 1)
+        return signals
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._offsets
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+
+def rocket_frontend_bundle() -> TraceBundle:
+    """The six Fig. 3 frontend signals for Rocket."""
+    return TraceBundle([
+        TraceField("icache_miss"),
+        TraceField("icache_blocked"),
+        TraceField("ibuf_valid"),
+        TraceField("ibuf_ready"),
+        TraceField("recovering"),
+        TraceField("fetch_bubbles"),
+    ], name="rocket-frontend")
+
+
+def rocket_tma_bundle() -> TraceBundle:
+    """Everything the Rocket temporal-TMA model consumes."""
+    return TraceBundle([
+        TraceField("instr_retired"),
+        TraceField("instr_issued"),
+        TraceField("fetch_bubbles"),
+        TraceField("recovering"),
+        TraceField("icache_miss"),
+        TraceField("icache_blocked"),
+        TraceField("dcache_blocked"),
+        TraceField("cobr_mispredict"),
+        TraceField("ibuf_valid"),
+        TraceField("ibuf_ready"),
+    ], name="rocket-tma")
+
+
+def boom_tma_bundle(commit_width: int = 3,
+                    issue_width: int = 5) -> TraceBundle:
+    """Everything the BOOM temporal-TMA model consumes (per-lane wide)."""
+    return TraceBundle([
+        TraceField("uops_retired", commit_width),
+        TraceField("uops_issued", issue_width),
+        TraceField("fetch_bubbles", commit_width),
+        TraceField("dcache_blocked", commit_width),
+        TraceField("recovering"),
+        TraceField("icache_miss"),
+        TraceField("icache_blocked"),
+        TraceField("br_mispredict"),
+        TraceField("cf_target_mispredict"),
+        TraceField("flush"),
+        TraceField("fence_retired"),
+    ], name="boom-tma")

@@ -1,0 +1,78 @@
+"""Ready/valid queues used inside the core frontends.
+
+The motivating example (§III, Fig. 3) is built on the ready/valid
+handshake between Rocket's instruction buffer and its decode stage; BOOM
+has an I-mem response buffer and a Fetch Buffer in the same position
+(Fig. 2).  :class:`ReadyValidQueue` models a fixed-capacity FIFO exposing
+exactly the two signals the paper taps: ``valid`` (the queue has data for
+the consumer) and ``ready`` (the consumer-side stage can accept data).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class ReadyValidQueue(Generic[T]):
+    """Fixed-capacity FIFO with ready/valid accounting."""
+
+    def __init__(self, capacity: int, name: str = "queue") -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[T] = deque()
+
+    # -- producer side --------------------------------------------------
+
+    @property
+    def producer_ready(self) -> bool:
+        """True when the queue can accept another item this cycle."""
+        return len(self._items) < self.capacity
+
+    def push(self, item: T) -> bool:
+        """Enqueue; returns False (drop) when full."""
+        if not self.producer_ready:
+            return False
+        self._items.append(item)
+        return True
+
+    def free_slots(self) -> int:
+        return self.capacity - len(self._items)
+
+    # -- consumer side ---------------------------------------------------
+
+    @property
+    def valid(self) -> bool:
+        """True when the consumer can take an item this cycle."""
+        return bool(self._items)
+
+    def peek(self) -> Optional[T]:
+        return self._items[0] if self._items else None
+
+    def pop(self) -> T:
+        return self._items.popleft()
+
+    def pop_up_to(self, count: int) -> List[T]:
+        """Dequeue at most *count* items, preserving order."""
+        taken: List[T] = []
+        while self._items and len(taken) < count:
+            taken.append(self._items.popleft())
+        return taken
+
+    def clear(self) -> None:
+        """Flush the queue (pipeline flush)."""
+        self._items.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:  # queue object is always truthy
+        return True

@@ -1,0 +1,82 @@
+"""TLB models (ITLB, DTLB, shared L2 TLB).
+
+The paper counts ITLB/DTLB/L2-TLB miss events (Table I, Memory set) but
+explicitly leaves TLB effects out of the TMA hierarchy ("we leave for
+future work", §IV-A).  We model the structures anyway so the events exist
+and carry realistic values: misses walk the (flat, always-resident) page
+table with a fixed latency, going through the L2 TLB first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+PAGE_SHIFT = 12
+
+#: Page-table-walk latency charged on an L2 TLB miss, in cycles.
+PTW_LATENCY = 30
+#: Latency of an L1 TLB miss that hits the L2 TLB.
+L2_TLB_HIT_LATENCY = 4
+
+
+@dataclass
+class TlbStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Tlb:
+    """Fully-associative TLB with LRU replacement."""
+
+    def __init__(self, entries: int, name: str = "tlb") -> None:
+        self.entries = entries
+        self.name = name
+        self.stats = TlbStats()
+        self._order: List[int] = []   # virtual page numbers, MRU first
+
+    def access(self, addr: int) -> bool:
+        """Translate *addr*; return True on hit, inserting on miss."""
+        vpn = addr >> PAGE_SHIFT
+        self.stats.accesses += 1
+        if vpn in self._order:
+            self._order.remove(vpn)
+            self._order.insert(0, vpn)
+            return True
+        self.stats.misses += 1
+        if len(self._order) >= self.entries:
+            self._order.pop()
+        self._order.insert(0, vpn)
+        return False
+
+    def flush(self) -> None:
+        self._order.clear()
+
+
+class TlbHierarchy:
+    """Split L1 TLBs over a shared L2 TLB, as in Rocket/BOOM."""
+
+    def __init__(self, itlb_entries: int = 32, dtlb_entries: int = 32,
+                 l2_entries: int = 512) -> None:
+        self.itlb = Tlb(itlb_entries, "itlb")
+        self.dtlb = Tlb(dtlb_entries, "dtlb")
+        self.l2 = Tlb(l2_entries, "l2tlb")
+
+    def _access(self, l1: Tlb, addr: int) -> Tuple[bool, int]:
+        if l1.access(addr):
+            return True, 0
+        if self.l2.access(addr):
+            return False, L2_TLB_HIT_LATENCY
+        return False, PTW_LATENCY
+
+    def access_instruction(self, addr: int) -> Tuple[bool, int]:
+        """ITLB access; return (l1_hit, extra_latency)."""
+        return self._access(self.itlb, addr)
+
+    def access_data(self, addr: int) -> Tuple[bool, int]:
+        """DTLB access; return (l1_hit, extra_latency)."""
+        return self._access(self.dtlb, addr)

@@ -1,0 +1,114 @@
+"""Slicing floorplan: place the tile's modules on a square die.
+
+Models the behaviour the paper observed in the place-and-route tools:
+modules are packed by recursive area bisection, and the CSR file — which
+talks to *everything* — lands near the centre of the die, minimizing its
+aggregate wire cost.  Wire lengths between modules are half-perimeter
+(HPWL) distances between module centres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..cores.base import BoomConfig
+from .area import ModuleArea, tile_modules
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One placed module: bounding box in µm."""
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+
+class Floorplan:
+    """A placed tile."""
+
+    def __init__(self, placements: Sequence[Placement],
+                 die_width: float, die_height: float) -> None:
+        self.placements = {p.name: p for p in placements}
+        self.die_width = die_width
+        self.die_height = die_height
+
+    def center_of(self, module: str) -> Tuple[float, float]:
+        return self.placements[module].center
+
+    def distance(self, module_a: str, module_b: str) -> float:
+        """HPWL (manhattan) distance between two module centres, µm."""
+        ax, ay = self.center_of(module_a)
+        bx, by = self.center_of(module_b)
+        return abs(ax - bx) + abs(ay - by)
+
+    @property
+    def die_area(self) -> float:
+        return self.die_width * self.die_height
+
+
+def _slice(modules: List[ModuleArea], x: float, y: float, width: float,
+           height: float, out: List[Placement]) -> None:
+    """Recursive area-bisection slicing placement."""
+    if len(modules) == 1:
+        out.append(Placement(modules[0].name, x, y, width, height))
+        return
+    total = sum(m.area for m in modules)
+    # Split the list into two halves of (nearly) equal area.
+    running = 0.0
+    split = 1
+    for index, module in enumerate(modules[:-1], start=1):
+        running += module.area
+        split = index
+        if running >= total / 2.0:
+            break
+    left, right = modules[:split], modules[split:]
+    left_area = sum(m.area for m in left)
+    ratio = left_area / total if total else 0.5
+    if width >= height:
+        _slice(left, x, y, width * ratio, height, out)
+        _slice(right, x + width * ratio, y, width * (1 - ratio), height, out)
+    else:
+        _slice(left, x, y, width, height * ratio, out)
+        _slice(right, x, y + height * ratio, width, height * (1 - ratio),
+               out)
+
+
+def floorplan(config: BoomConfig, utilization: float = 0.7) -> Floorplan:
+    """Place a BOOM tile.
+
+    Modules are ordered so the CSR file sits mid-list, which the slicing
+    recursion places near the die centre — matching the P&R behaviour
+    the paper describes (§IV-B).
+    """
+    modules = tile_modules(config)
+    by_name = {m.name: m for m in modules}
+    # Interleave big consumers around the CSR file.
+    order = ["frontend", "decode", "iq_int", "iq_mem", "csr", "iq_fp",
+             "rob", "execute", "lsu"]
+    ordered = [by_name[name] for name in order]
+    total = sum(m.area for m in ordered) / utilization
+    side = math.sqrt(total)
+    out: List[Placement] = []
+    _slice(ordered, 0.0, 0.0, side, side, out)
+    return Floorplan(out, side, side)
+
+
+#: Which floorplan module hosts each per-lane TMA event source (Fig. 2b).
+EVENT_SOURCE_MODULE: Dict[str, str] = {
+    "fetch_bubbles": "decode",
+    "uops_issued": "iq_int",      # spread across queues; see flow.py
+    "uops_retired": "rob",
+    "dcache_blocked": "lsu",
+    "icache_blocked": "frontend",
+    "recovering": "frontend",
+    "fence_retired": "rob",
+}

@@ -1,0 +1,304 @@
+"""The "physical design flow" driver: overheads per size × counter arch.
+
+Replaces the paper's Cadence/ASAP7 runs (§V-C) with a structural model:
+every counter architecture is expanded into the flip-flops, gates, and
+wires it actually adds on top of the floorplanned tile, and power /
+area / wirelength / CSR-path-delay overheads are computed from those
+counts.
+
+Absolute technology constants cannot be derived without a real PDK, so
+each overhead metric carries a single global *calibration factor* chosen
+such that the worst case across all five BOOM sizes and three counter
+architectures matches the ceiling the paper reports (power +4.15%, area
++1.54%, wirelength +9.93%); the *relative* ordering across sizes and
+architectures — the content of Fig. 9 — comes entirely from the
+structural model.  All configurations must close timing at 200 MHz
+(5 ns), like the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cores.base import BoomConfig
+from ..cores.configs import ALL_BOOM_CONFIGS
+from .area import FLOP_BIT_AREA, GATE_AREA, tile_area
+from .floorplan import Floorplan, floorplan
+
+ARCHITECTURES = ("baseline", "scalar", "adders", "distributed")
+
+# Technology-ish constants (7 nm-class ballpark; relative use only).
+WIRE_DELAY_PER_MM_NS = 0.28     # buffered global wire
+# Each Chisel-emitted chain stage is a full-width add of the running
+# sum ("compiled into a sequential chain to aggregate events", §IV-B).
+ADDER_STAGE_DELAY_NS = 0.12
+MUX_STAGE_DELAY_NS = 0.02
+# Fixed cost of the rotating one-hot arbiter + clear-on-read flag logic
+# in front of the principal counter: this is the "circuit overhead of
+# distributed counters [that] outweighs its scalability" at small sizes.
+DISTRIBUTED_ARBITER_DELAY_NS = 0.36
+LOCAL_PITCH_UM = 15.0           # spacing between lanes inside a module
+FLOP_POWER_UW = 0.55            # per bit at full activity
+WIRE_POWER_UW_PER_MM = 10.0     # per bit toggling
+GATE_POWER_UW = 0.06
+BASE_POWER_DENSITY_UW_PER_UM2 = 0.085
+CLOCK_PERIOD_NS = 5.0           # 200 MHz target
+
+#: The paper's reported worst-case overheads (the calibration targets).
+PAPER_POWER_CEILING = 0.0415
+PAPER_AREA_CEILING = 0.0154
+PAPER_WIRELENGTH_CEILING = 0.0993
+
+
+@dataclass(frozen=True)
+class EventSourceGroup:
+    """One per-lane event: where its sources live and how many there are."""
+
+    event: str
+    module: str
+    lanes: int
+
+
+def event_source_groups(config: BoomConfig) -> List[EventSourceGroup]:
+    """The seven new BOOM events mapped to their source modules."""
+    w_c = config.decode_width
+    return [
+        EventSourceGroup("fetch_bubbles", "decode", w_c),
+        EventSourceGroup("uops_issued_int", "iq_int", config.issue_int),
+        EventSourceGroup("uops_issued_mem", "iq_mem", config.issue_mem),
+        EventSourceGroup("uops_issued_fp", "iq_fp", config.issue_fp),
+        EventSourceGroup("uops_retired", "rob", w_c),
+        EventSourceGroup("dcache_blocked", "lsu", w_c),
+        EventSourceGroup("icache_blocked", "frontend", 1),
+        EventSourceGroup("recovering", "frontend", 1),
+        EventSourceGroup("fence_retired", "rob", 1),
+    ]
+
+
+@dataclass
+class ArchStructure:
+    """Structural inventory one counter architecture adds."""
+
+    flop_bits: int = 0
+    gates: int = 0
+    wire_mm: float = 0.0          # bit-millimetres of added routing
+    longest_wire_mm: float = 0.0
+    csr_extra_delay_ns: float = 0.0
+
+
+def _group_distance_mm(plan: Floorplan, group: EventSourceGroup) -> float:
+    return plan.distance(group.module, "csr") / 1000.0
+
+
+def structure_for(config: BoomConfig, architecture: str,
+                  plan: Optional[Floorplan] = None,
+                  monitored_lanes: Optional[Dict[str, int]] = None
+                  ) -> ArchStructure:
+    """Expand *architecture* into flops/gates/wires for *config*.
+
+    ``monitored_lanes`` optionally restricts an event to fewer lanes
+    (the §V-A single-lane approximation study).
+    """
+    if architecture not in ARCHITECTURES:
+        raise ValueError(f"unknown architecture {architecture!r}")
+    plan = plan or floorplan(config)
+    structure = ArchStructure()
+    if architecture == "baseline":
+        return structure
+
+    max_delay = 0.0
+    for group in event_source_groups(config):
+        lanes = group.lanes
+        if monitored_lanes and group.event in monitored_lanes:
+            lanes = max(1, min(lanes, monitored_lanes[group.event]))
+        distance = _group_distance_mm(plan, group)
+        chain_mm = (lanes - 1) * LOCAL_PITCH_UM / 1000.0
+
+        if architecture == "scalar":
+            # One 64-bit counter per source at the CSR file; every
+            # source routes its own 1-bit event wire across the die.
+            structure.flop_bits += 64 * lanes
+            structure.gates += 20 * lanes          # increment logic
+            structure.wire_mm += lanes * distance
+            structure.longest_wire_mm = max(structure.longest_wire_mm,
+                                            distance)
+            max_delay = max(max_delay,
+                            distance * WIRE_DELAY_PER_MM_NS)
+        elif architecture == "adders":
+            # Sequential adder chain near the sources, one multi-bit
+            # increment trunk to a single counter (Fig. 6a).
+            width = max(1, math.ceil(math.log2(lanes + 1)))
+            structure.flop_bits += 64
+            structure.gates += (lanes - 1) * 10 * width + 20
+            structure.wire_mm += chain_mm + width * distance
+            structure.longest_wire_mm = max(
+                structure.longest_wire_mm, distance + chain_mm)
+            delay = ((lanes - 1) * ADDER_STAGE_DELAY_NS
+                     + (distance + chain_mm) * WIRE_DELAY_PER_MM_NS)
+            max_delay = max(max_delay, delay)
+        else:  # distributed
+            # N-bit local counter + overflow flag at each source; the
+            # rotating arbiter and principal counter sit in the CSR
+            # file; only 1-bit overflow wires cross the die (Fig. 6b).
+            width = max(1, math.ceil(math.log2(max(2, lanes))))
+            structure.flop_bits += lanes * (width + 1) + 64
+            structure.gates += lanes * 8 + 12 * lanes + 30  # arbiter
+            structure.wire_mm += lanes * distance
+            structure.longest_wire_mm = max(structure.longest_wire_mm,
+                                            distance)
+            # The long wires carry non-critical overflow flags; only
+            # the local increment and the arbiter mux touch the path.
+            select_depth = max(1, math.ceil(math.log2(max(2, lanes))))
+            delay = (DISTRIBUTED_ARBITER_DELAY_NS
+                     + select_depth * MUX_STAGE_DELAY_NS
+                     + 0.05 * WIRE_DELAY_PER_MM_NS)
+            max_delay = max(max_delay, delay)
+
+    structure.csr_extra_delay_ns = max_delay
+    return structure
+
+
+# ---------------------------------------------------------------------------
+# baseline tile metrics
+# ---------------------------------------------------------------------------
+
+def _base_wirelength_mm(config: BoomConfig, plan: Floorplan) -> float:
+    """Crude total routing estimate: Rent-style area scaling."""
+    return 2.2 * (tile_area(config) ** 0.62) / 1000.0
+
+
+def _base_power_uw(config: BoomConfig) -> float:
+    return tile_area(config) * BASE_POWER_DENSITY_UW_PER_UM2
+
+
+def _base_csr_path_ns(config: BoomConfig, plan: Floorplan) -> float:
+    """Longest register-to-register path crossing the CSR file."""
+    die_mm = plan.die_width / 1000.0
+    return 2.9 + 0.55 * die_mm
+
+
+@dataclass
+class FlowResult:
+    """Post-placement metrics for one (size, architecture) run."""
+
+    config_name: str
+    architecture: str
+    area_um2: float
+    power_uw: float
+    wirelength_mm: float
+    longest_csr_path_ns: float
+    longest_pmu_wire_mm: float
+    area_overhead: float
+    power_overhead: float
+    wirelength_overhead: float
+
+    @property
+    def passes_200mhz(self) -> bool:
+        return self.longest_csr_path_ns <= CLOCK_PERIOD_NS
+
+    def normalized_csr_path(self, baseline: "FlowResult") -> float:
+        return self.longest_csr_path_ns / baseline.longest_csr_path_ns
+
+
+class PhysicalFlow:
+    """Run the modelled flow for one BOOM size across architectures."""
+
+    def __init__(self, config: BoomConfig,
+                 calibration: Optional[Dict[str, float]] = None) -> None:
+        self.config = config
+        self.plan = floorplan(config)
+        self.calibration = calibration or {"power": 1.0, "area": 1.0,
+                                           "wirelength": 1.0}
+
+    def run(self, architecture: str,
+            monitored_lanes: Optional[Dict[str, int]] = None
+            ) -> FlowResult:
+        config = self.config
+        plan = self.plan
+        base_area = tile_area(config)
+        base_power = _base_power_uw(config)
+        base_wires = _base_wirelength_mm(config, plan)
+        base_path = _base_csr_path_ns(config, plan)
+
+        structure = structure_for(config, architecture, plan,
+                                  monitored_lanes=monitored_lanes)
+        raw_area = (structure.flop_bits * FLOP_BIT_AREA
+                    + structure.gates * GATE_AREA)
+        raw_power = (structure.flop_bits * FLOP_POWER_UW
+                     + structure.wire_mm * WIRE_POWER_UW_PER_MM
+                     + structure.gates * GATE_POWER_UW)
+        raw_wires = structure.wire_mm
+
+        area_overhead = self.calibration["area"] * raw_area / base_area
+        power_overhead = self.calibration["power"] * raw_power / base_power
+        wire_overhead = (self.calibration["wirelength"]
+                         * raw_wires / base_wires)
+        return FlowResult(
+            config_name=config.name, architecture=architecture,
+            area_um2=base_area * (1 + area_overhead),
+            power_uw=base_power * (1 + power_overhead),
+            wirelength_mm=base_wires * (1 + wire_overhead),
+            longest_csr_path_ns=base_path + structure.csr_extra_delay_ns,
+            longest_pmu_wire_mm=structure.longest_wire_mm,
+            area_overhead=area_overhead,
+            power_overhead=power_overhead,
+            wirelength_overhead=wire_overhead)
+
+
+def _raw_max_overheads(configs: Sequence[BoomConfig]
+                       ) -> Tuple[float, float, float]:
+    power = area = wires = 0.0
+    for config in configs:
+        flow = PhysicalFlow(config)
+        for architecture in ARCHITECTURES[1:]:
+            result = flow.run(architecture)
+            power = max(power, result.power_overhead)
+            area = max(area, result.area_overhead)
+            wires = max(wires, result.wirelength_overhead)
+    return power, area, wires
+
+
+def paper_calibration(configs: Sequence[BoomConfig] = ALL_BOOM_CONFIGS
+                      ) -> Dict[str, float]:
+    """Scale factors pinning the worst-case overheads to the paper's.
+
+    The structural model fixes the *shape* (ordering across sizes and
+    architectures); this sets the absolute ceiling to +4.15% power,
+    +1.54% area, +9.93% wirelength (§V-C).
+    """
+    raw_power, raw_area, raw_wires = _raw_max_overheads(configs)
+    return {
+        "power": PAPER_POWER_CEILING / raw_power if raw_power else 1.0,
+        "area": PAPER_AREA_CEILING / raw_area if raw_area else 1.0,
+        "wirelength": (PAPER_WIRELENGTH_CEILING / raw_wires
+                       if raw_wires else 1.0),
+    }
+
+
+def sweep(configs: Sequence[BoomConfig] = ALL_BOOM_CONFIGS,
+          architectures: Sequence[str] = ARCHITECTURES,
+          calibrated: bool = True) -> Dict[str, Dict[str, FlowResult]]:
+    """Fig. 9's full grid: {config name: {architecture: result}}."""
+    calibration = paper_calibration(configs) if calibrated else None
+    results: Dict[str, Dict[str, FlowResult]] = {}
+    for config in configs:
+        flow = PhysicalFlow(config, calibration=calibration)
+        results[config.name] = {arch: flow.run(arch)
+                                for arch in architectures}
+    return results
+
+
+def single_lane_wire_reduction(config: BoomConfig) -> float:
+    """§V-A: monitoring one fetch lane instead of all of them shortens
+    the longest fetch-bubble PMU wire (the paper reports 11.39%)."""
+    plan = floorplan(config)
+    group = next(g for g in event_source_groups(config)
+                 if g.event == "fetch_bubbles")
+    distance = _group_distance_mm(plan, group)
+    chain_mm = (group.lanes - 1) * LOCAL_PITCH_UM / 1000.0
+    full = distance + chain_mm
+    if full == 0:
+        return 0.0
+    return chain_mm / full

@@ -1,0 +1,280 @@
+"""Case-study workloads (§V-A, Fig. 7c/d/e/f/m/n).
+
+- ``brmiss`` / ``brmiss_inv``: a chain of 256 forward data-dependent
+  branches executed in an outer loop.  In the base build every branch is
+  taken; the inverted build flips the conditions so none is.  Rocket's
+  28-entry BTB thrashes, so its effective prediction is always
+  fall-through: the base build is always mispredicted and the inverted
+  build always correct (Fig. 7d).  BOOM's TAGE starts weakly-taken and
+  its 512-entry BTB retains the chain, so the effect reverses (Fig. 7n).
+
+- ``coremark`` / ``coremark_sched``: a CoreMark-flavoured kernel (list
+  walk, matrix row products, state machine, CRC) whose inner compute
+  block exists in two instruction orders with the *same instruction
+  multiset*: the base build places dependent ops back-to-back, the
+  scheduled build interleaves the independent chains, mimicking gcc's
+  ``-fschedule-insns`` (Fig. 7e/f/m).
+"""
+
+from __future__ import annotations
+
+from .data import Lcg, dwords
+from .registry import Workload, register
+
+_BR_CHAIN = 256
+_BR_OUTER = 40
+
+
+def _brmiss_source(scale: float, inverted: bool) -> str:
+    chain = max(32, int(_BR_CHAIN * scale))
+    outer = max(8, int(_BR_OUTER * scale))
+    # Data values are all below the threshold, so `blt` is always taken
+    # and the inverted `bge` never is.
+    data = [1] * 64
+    op = "bge" if inverted else "blt"
+    units = []
+    for k in range(chain):
+        offset = (k % 64) * 8
+        units.append(f"""
+    ld t1, {offset}(a0)
+    {op} t1, t2, skip_{k}
+    addi s1, s1, 1
+skip_{k}:""")
+    body = "".join(units)
+    return f"""
+.data
+{dwords("chain_data", data)}
+.text
+_start:
+    la a0, chain_data
+    li t2, 10                 # threshold
+    li s1, 0                  # not-taken counter
+    li s2, 0                  # outer loop
+    li s3, {outer}
+outer_loop:
+    bge s2, s3, chain_done
+{body}
+    addi s2, s2, 1
+    j outer_loop
+chain_done:
+    li t0, 4096
+    remu a0, s1, t0
+    li a7, 93
+    ecall
+"""
+
+
+def _brmiss_exit(scale: float, inverted: bool) -> int:
+    chain = max(32, int(_BR_CHAIN * scale))
+    outer = max(8, int(_BR_OUTER * scale))
+    # base: every branch taken, counter never increments;
+    # inverted: every branch falls through, counter counts every unit.
+    return (chain * outer) % 4096 if inverted else 0
+
+
+# ---------------------------------------------------------------------------
+# CoreMark-flavoured kernel with selectable instruction scheduling
+# ---------------------------------------------------------------------------
+
+_CM_LIST_LEN = 16
+_CM_ITERATIONS = 150
+
+# The compute block as (unscheduled, scheduled) instruction orders.  Both
+# sequences contain exactly the same instructions; only the order differs
+# (dependent ops back-to-back vs. interleaved independent chains).
+_CM_BLOCK_UNSCHEDULED = """
+    ld t1, 0(s4)
+    addi t1, t1, 3
+    slli t2, t1, 2
+    xor t3, t2, t1
+    mul t4, t3, s9
+    add s1, s1, t4
+    ld t5, 8(s4)
+    addi t5, t5, 5
+    slli t6, t5, 1
+    xor a2, t6, t5
+    mul a3, a2, s9
+    add s1, s1, a3
+    ld a4, 16(s4)
+    addi a4, a4, 7
+    slli a5, a4, 3
+    xor a6, a5, a4
+    mul a7, a6, s9
+    add s1, s1, a7
+"""
+
+_CM_BLOCK_SCHEDULED = """
+    ld t1, 0(s4)
+    ld t5, 8(s4)
+    ld a4, 16(s4)
+    addi t1, t1, 3
+    addi t5, t5, 5
+    addi a4, a4, 7
+    slli t2, t1, 2
+    slli t6, t5, 1
+    slli a5, a4, 3
+    xor t3, t2, t1
+    xor a2, t6, t5
+    xor a6, a5, a4
+    mul t4, t3, s9
+    mul a3, a2, s9
+    mul a7, a6, s9
+    add s1, s1, t4
+    add s1, s1, a3
+    add s1, s1, a7
+"""
+
+
+def _coremark_source(scale: float, scheduled: bool) -> str:
+    iterations = max(30, int(_CM_ITERATIONS * scale))
+    rng = Lcg(87)
+    # Small circular linked list: next-index table plus payload.
+    next_idx = list(range(1, _CM_LIST_LEN)) + [0]
+    payload = rng.values(_CM_LIST_LEN, 100)
+    matrix = rng.values(16, 10)          # 4x4 matrix
+    vector = rng.values(4, 10)
+    block = _CM_BLOCK_SCHEDULED if scheduled else _CM_BLOCK_UNSCHEDULED
+    return f"""
+.data
+{dwords("list_next", next_idx)}
+{dwords("list_val", payload)}
+{dwords("cm_mat", matrix)}
+{dwords("cm_vec", vector)}
+cm_buf: .dword 11, 22, 33
+.text
+_start:
+    la s2, list_next
+    la s3, list_val
+    la s4, cm_buf
+    la s5, cm_mat
+    la s6, cm_vec
+    li s9, 3                  # multiplier constant
+    li s0, {iterations}
+    li s1, 0                  # checksum
+    li s7, 0                  # iteration
+    li s8, 0                  # list cursor
+cm_loop:
+    bge s7, s0, cm_done
+    # -- list walk: follow 4 links, accumulate payload ----------------
+    li t0, 4
+walk_loop:
+    beqz t0, walk_done
+    slli t1, s8, 3
+    add t2, s3, t1
+    ld t3, 0(t2)
+    add s1, s1, t3
+    add t4, s2, t1
+    ld s8, 0(t4)
+    addi t0, t0, -1
+    j walk_loop
+walk_done:
+    # -- matrix row x vector (row = iteration & 3) ---------------------
+    andi t0, s7, 3
+    slli t0, t0, 5            # row * 4 dwords
+    add t1, s5, t0
+    li t2, 0                  # col
+    li t3, 0                  # dot
+dot_loop:
+    li t4, 4
+    bge t2, t4, dot_done
+    slli t5, t2, 3
+    add t6, t1, t5
+    ld a2, 0(t6)
+    add a3, s6, t5
+    ld a4, 0(a3)
+    mul a5, a2, a4
+    add t3, t3, a5
+    addi t2, t2, 1
+    j dot_loop
+dot_done:
+    add s1, s1, t3
+    # -- state machine on the dot value --------------------------------
+    andi t0, t3, 3
+    beqz t0, cm_state0
+    li t4, 1
+    beq t0, t4, cm_state1
+    li t4, 2
+    beq t0, t4, cm_state2
+    addi s1, s1, 9
+    j cm_state_done
+cm_state0:
+    addi s1, s1, 2
+    j cm_state_done
+cm_state1:
+    addi s1, s1, 4
+    j cm_state_done
+cm_state2:
+    addi s1, s1, 6
+cm_state_done:
+    # -- CRC-ish fold ---------------------------------------------------
+    slli t0, s1, 1
+    srli t1, s1, 7
+    xor s1, t0, t1
+    # -- compute block (the scheduling case study) ----------------------
+{block}
+    addi s7, s7, 1
+    j cm_loop
+cm_done:
+    li t0, 4096
+    remu a0, s1, t0
+    li a7, 93
+    ecall
+"""
+
+
+def _coremark_exit(scale: float) -> int:
+    """Python model of the kernel (identical for both schedules)."""
+    iterations = max(30, int(_CM_ITERATIONS * scale))
+    rng = Lcg(87)
+    next_idx = list(range(1, _CM_LIST_LEN)) + [0]
+    payload = rng.values(_CM_LIST_LEN, 100)
+    matrix = rng.values(16, 10)
+    vector = rng.values(4, 10)
+    buf = [11, 22, 33]
+    mask = (1 << 64) - 1
+
+    checksum = 0
+    cursor = 0
+    for i in range(iterations):
+        for _ in range(4):
+            checksum = (checksum + payload[cursor]) & mask
+            cursor = next_idx[cursor]
+        row = i & 3
+        dot = sum(matrix[row * 4 + c] * vector[c] for c in range(4))
+        checksum = (checksum + dot) & mask
+        state = dot & 3
+        checksum = (checksum + (2, 4, 6, 9)[state]) & mask
+        checksum = (((checksum << 1) & mask) ^ (checksum >> 7)) & mask
+        for offset, addend, shift in ((0, 3, 2), (1, 5, 1), (2, 7, 3)):
+            value = (buf[offset] + addend) & mask
+            mixed = ((value << shift) & mask) ^ value
+            checksum = (checksum + mixed * 3) & mask
+    return checksum % 4096
+
+
+def _register_all() -> None:
+    register(Workload(
+        name="brmiss", category="case-study",
+        source_builder=lambda scale: _brmiss_source(scale, inverted=False),
+        description="chain of taken forward branches (Rocket CS2 base)",
+        expected_exit=lambda scale: _brmiss_exit(scale, inverted=False)))
+    register(Workload(
+        name="brmiss_inv", category="case-study",
+        source_builder=lambda scale: _brmiss_source(scale, inverted=True),
+        description="inverted branch chain (Rocket CS2 / BOOM CS)",
+        expected_exit=lambda scale: _brmiss_exit(scale, inverted=True)))
+    register(Workload(
+        name="coremark", category="micro",
+        source_builder=lambda scale: _coremark_source(scale,
+                                                      scheduled=False),
+        description="CoreMark-flavoured kernel, unscheduled compute block",
+        expected_exit=_coremark_exit))
+    register(Workload(
+        name="coremark_sched", category="case-study",
+        source_builder=lambda scale: _coremark_source(scale,
+                                                      scheduled=True),
+        description="same kernel with -fschedule-insns style ordering",
+        expected_exit=_coremark_exit))
+
+
+_register_all()

@@ -1,0 +1,73 @@
+"""Deterministic data generation for the workload suite.
+
+All workloads must be reproducible run-to-run, so every "random" input is
+produced by a fixed-seed linear congruential generator.  Helpers format
+Python values into ``.data`` section directives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_MASK64 = (1 << 64) - 1
+
+
+class Lcg:
+    """64-bit LCG (Knuth's MMIX constants); deterministic across runs."""
+
+    def __init__(self, seed: int = 0x1CE1CE) -> None:
+        self.state = seed & _MASK64
+
+    def next(self) -> int:
+        self.state = (self.state * _LCG_MULT + _LCG_INC) & _MASK64
+        return self.state
+
+    def below(self, bound: int) -> int:
+        """Uniform-ish integer in [0, bound)."""
+        return (self.next() >> 16) % bound
+
+    def values(self, count: int, bound: int) -> List[int]:
+        return [self.below(bound) for _ in range(count)]
+
+    def permutation(self, count: int) -> List[int]:
+        """Fisher-Yates permutation of range(count)."""
+        items = list(range(count))
+        for i in range(count - 1, 0, -1):
+            j = self.below(i + 1)
+            items[i], items[j] = items[j], items[i]
+        return items
+
+
+def dwords(label: str, values: Sequence[int], per_line: int = 8) -> str:
+    """Render a labelled ``.dword`` block."""
+    lines = [f"{label}:"]
+    for start in range(0, len(values), per_line):
+        chunk = ", ".join(str(v) for v in values[start:start + per_line])
+        lines.append(f"    .dword {chunk}")
+    if not values:
+        lines.append("    .dword 0")
+    return "\n".join(lines)
+
+
+def doubles_as_dwords(label: str, values: Sequence[float],
+                      per_line: int = 4) -> str:
+    """Render doubles as raw IEEE-754 ``.dword`` bit patterns."""
+    import struct
+
+    bits = [struct.unpack("<Q", struct.pack("<d", v))[0] for v in values]
+    return dwords(label, bits, per_line=per_line)
+
+
+def ring_permutation(count: int, seed: int = 7) -> List[int]:
+    """A single-cycle permutation for pointer-chase workloads.
+
+    ``next[i]`` is the successor of node ``i``; following it from node 0
+    visits every node exactly once before returning to 0.
+    """
+    order = Lcg(seed).permutation(count)
+    successor = [0] * count
+    for position in range(count):
+        successor[order[position]] = order[(position + 1) % count]
+    return successor

@@ -1,0 +1,895 @@
+"""Microbenchmark suite (riscv-tests style, Table III).
+
+Each kernel is a real algorithm written in the RV64 subset; the builder
+generates deterministic input data and the kernel exits with a checksum
+that :func:`repro.workloads.registry.build_trace` verifies against the
+value computed in Python — a broken kernel cannot silently produce a
+bogus characterization.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .data import Lcg, doubles_as_dwords, dwords
+from .registry import Workload, register
+
+_CHECK_MOD = 4096
+
+
+def _weighted_checksum(values: List[int]) -> int:
+    return sum(v * (i + 1) for i, v in enumerate(values)) % _CHECK_MOD
+
+
+_CHECKSUM_ASM = """
+checksum:
+    # a0 = base, s0 = count -> exit with sum(arr[i]*(i+1)) % 4096
+    li t0, 0
+    li t1, 0
+cksum_loop:
+    bge t1, s0, cksum_done
+    slli t2, t1, 3
+    add t2, a0, t2
+    ld t3, 0(t2)
+    addi t4, t1, 1
+    mul t5, t3, t4
+    add t0, t0, t5
+    addi t1, t1, 1
+    j cksum_loop
+cksum_done:
+    li t6, 4096
+    remu a0, t0, t6
+    li a7, 93
+    ecall
+"""
+
+
+# ---------------------------------------------------------------------------
+# mergesort — the motivating example's workload (§III, Fig. 3)
+# ---------------------------------------------------------------------------
+
+def _mergesort_source(scale: float) -> str:
+    n = max(16, int(256 * scale))
+    values = Lcg(11).values(n, 1 << 16)
+    return f"""
+.data
+{dwords("arr", values)}
+tmp: .space {8 * n}
+.text
+_start:
+    la a0, arr
+    la a1, tmp
+    li s0, {n}
+    li s1, 1                  # width
+width_loop:
+    bge s1, s0, sort_done
+    li s2, 0                  # lo
+pair_loop:
+    bge s2, s0, pass_done
+    add s3, s2, s1            # mid
+    blt s3, s0, mid_ok
+    mv s3, s0
+mid_ok:
+    slli t0, s1, 1
+    add s4, s2, t0            # hi
+    blt s4, s0, hi_ok
+    mv s4, s0
+hi_ok:
+    mv t0, s2                 # i
+    mv t1, s3                 # j
+    mv t2, s2                 # k
+merge_loop:
+    bge t0, s3, copy_right
+    bge t1, s4, copy_left
+    slli t3, t0, 3
+    add t3, a0, t3
+    ld t4, 0(t3)
+    slli t5, t1, 3
+    add t5, a0, t5
+    ld t6, 0(t5)
+    slli a2, t2, 3
+    add a2, a1, a2
+    bgt t4, t6, take_right
+    sd t4, 0(a2)
+    addi t0, t0, 1
+    j merge_next
+take_right:
+    sd t6, 0(a2)
+    addi t1, t1, 1
+merge_next:
+    addi t2, t2, 1
+    j merge_loop
+copy_right:
+    bge t1, s4, merge_done
+    slli t5, t1, 3
+    add t5, a0, t5
+    ld t6, 0(t5)
+    slli a2, t2, 3
+    add a2, a1, a2
+    sd t6, 0(a2)
+    addi t1, t1, 1
+    addi t2, t2, 1
+    j copy_right
+copy_left:
+    bge t0, s3, merge_done
+    slli t3, t0, 3
+    add t3, a0, t3
+    ld t4, 0(t3)
+    slli a2, t2, 3
+    add a2, a1, a2
+    sd t4, 0(a2)
+    addi t0, t0, 1
+    addi t2, t2, 1
+    j copy_left
+merge_done:
+    slli t0, s1, 1
+    add s2, s2, t0
+    j pair_loop
+pass_done:
+    li t0, 0
+copy_back:
+    bge t0, s0, copy_back_done
+    slli t1, t0, 3
+    add t2, a1, t1
+    ld t3, 0(t2)
+    add t4, a0, t1
+    sd t3, 0(t4)
+    addi t0, t0, 1
+    j copy_back
+copy_back_done:
+    slli s1, s1, 1
+    j width_loop
+sort_done:
+{_CHECKSUM_ASM}
+"""
+
+
+def _mergesort_exit(scale: float) -> int:
+    n = max(16, int(256 * scale))
+    return _weighted_checksum(sorted(Lcg(11).values(n, 1 << 16)))
+
+
+# ---------------------------------------------------------------------------
+# qsort — Bad-Speculation dominated on Rocket (§V-A)
+# ---------------------------------------------------------------------------
+
+def _qsort_source(scale: float) -> str:
+    n = max(16, int(256 * scale))
+    values = Lcg(23).values(n, 1 << 16)
+    return f"""
+.data
+{dwords("arr", values)}
+stack: .space {16 * (n + 4)}
+.text
+_start:
+    la a0, arr
+    la s0, stack
+    li t0, 0
+    li t1, {n - 1}
+    sd t0, 0(s0)
+    sd t1, 8(s0)
+    addi s0, s0, 16
+qs_loop:
+    la t2, stack
+    beq s0, t2, qs_done
+    addi s0, s0, -16
+    ld s1, 0(s0)              # lo
+    ld s2, 8(s0)              # hi
+    bge s1, s2, qs_loop
+    slli t3, s2, 3
+    add t3, a0, t3
+    ld s3, 0(t3)              # pivot = arr[hi]
+    addi s4, s1, -1           # i
+    mv t4, s1                 # j
+part_loop:
+    bge t4, s2, part_done
+    slli t5, t4, 3
+    add t5, a0, t5
+    ld t6, 0(t5)
+    bgt t6, s3, part_next
+    addi s4, s4, 1
+    slli a2, s4, 3
+    add a2, a0, a2
+    ld a3, 0(a2)
+    sd t6, 0(a2)
+    sd a3, 0(t5)
+part_next:
+    addi t4, t4, 1
+    j part_loop
+part_done:
+    addi s4, s4, 1            # p
+    slli a2, s4, 3
+    add a2, a0, a2
+    ld a3, 0(a2)
+    slli t5, s2, 3
+    add t5, a0, t5
+    ld t6, 0(t5)
+    sd t6, 0(a2)
+    sd a3, 0(t5)
+    addi a4, s4, -1
+    sd s1, 0(s0)
+    sd a4, 8(s0)
+    addi s0, s0, 16
+    addi a5, s4, 1
+    sd a5, 0(s0)
+    sd s2, 8(s0)
+    addi s0, s0, 16
+    j qs_loop
+qs_done:
+    li s0, {n}
+{_CHECKSUM_ASM}
+"""
+
+
+def _qsort_exit(scale: float) -> int:
+    n = max(16, int(256 * scale))
+    return _weighted_checksum(sorted(Lcg(23).values(n, 1 << 16)))
+
+
+# ---------------------------------------------------------------------------
+# rsort — loop-centric radix sort, near-ideal IPC on Rocket (§V-A)
+# ---------------------------------------------------------------------------
+
+def _rsort_source(scale: float) -> str:
+    n = max(16, int(256 * scale))
+    values = Lcg(37).values(n, 1 << 16)
+    return f"""
+.data
+{dwords("arr", values)}
+tmp:   .space {8 * n}
+count: .space {8 * 256}
+.text
+_start:
+    la a0, arr
+    la a1, tmp
+    la a2, count
+    li s0, {n}
+    li s1, 0                  # shift: 0, then 8
+shift_loop:
+    li t0, 16
+    bge s1, t0, rs_done
+    # zero the counters
+    li t0, 0
+zero_loop:
+    li t1, 256
+    bge t0, t1, zero_done
+    slli t2, t0, 3
+    add t2, a2, t2
+    sd zero, 0(t2)
+    addi t0, t0, 1
+    j zero_loop
+zero_done:
+    # histogram
+    li t0, 0
+hist_loop:
+    bge t0, s0, hist_done
+    slli t1, t0, 3
+    add t1, a0, t1
+    ld t2, 0(t1)
+    srl t2, t2, s1
+    andi t2, t2, 255
+    slli t2, t2, 3
+    add t2, a2, t2
+    ld t3, 0(t2)
+    addi t3, t3, 1
+    sd t3, 0(t2)
+    addi t0, t0, 1
+    j hist_loop
+hist_done:
+    # exclusive prefix sums -> start offsets
+    li t0, 1
+prefix_loop:
+    li t1, 256
+    bge t0, t1, prefix_done
+    slli t2, t0, 3
+    add t2, a2, t2
+    ld t3, 0(t2)
+    ld t4, -8(t2)
+    add t3, t3, t4
+    sd t3, 0(t2)
+    addi t0, t0, 1
+    j prefix_loop
+prefix_done:
+    # place from the end to keep stability
+    addi t0, s0, -1
+place_loop:
+    bltz t0, place_done
+    slli t1, t0, 3
+    add t1, a0, t1
+    ld t2, 0(t1)              # value
+    srl t3, t2, s1
+    andi t3, t3, 255
+    slli t3, t3, 3
+    add t3, a2, t3
+    ld t4, 0(t3)
+    addi t4, t4, -1
+    sd t4, 0(t3)
+    slli t5, t4, 3
+    add t5, a1, t5
+    sd t2, 0(t5)
+    addi t0, t0, -1
+    j place_loop
+place_done:
+    # copy tmp -> arr
+    li t0, 0
+rs_copy:
+    bge t0, s0, rs_copy_done
+    slli t1, t0, 3
+    add t2, a1, t1
+    ld t3, 0(t2)
+    add t4, a0, t1
+    sd t3, 0(t4)
+    addi t0, t0, 1
+    j rs_copy
+rs_copy_done:
+    addi s1, s1, 8
+    j shift_loop
+rs_done:
+{_CHECKSUM_ASM}
+"""
+
+
+def _rsort_exit(scale: float) -> int:
+    n = max(16, int(256 * scale))
+    return _weighted_checksum(sorted(Lcg(37).values(n, 1 << 16)))
+
+
+# ---------------------------------------------------------------------------
+# memcpy — Memory-Bound standout on both cores (§V-A)
+# ---------------------------------------------------------------------------
+
+def _memcpy_source(scale: float) -> str:
+    n = max(512, int(4096 * scale))   # dwords: 32 KiB at scale 1
+    return f"""
+.data
+src: .space {8 * n}
+dst: .space {8 * n}
+.text
+_start:
+    # seed only the checksummed prefix; the bulk stays cold so the copy
+    # streams misses through the memory system (Memory-Bound standout)
+    la a0, src
+    li t0, 0
+init_loop:
+    li t1, 64
+    bge t0, t1, init_done
+    slli t2, t0, 3
+    ori t2, t2, 5
+    andi t2, t2, 1023
+    slli t3, t0, 3
+    add t3, a0, t3
+    sd t2, 0(t3)
+    addi t0, t0, 1
+    j init_loop
+init_done:
+    la a0, src
+    la a1, dst
+    li t0, 0
+copy_loop:
+    li t1, {n}
+    bge t0, t1, copy_done
+    slli t2, t0, 3
+    add t3, a0, t2
+    ld t4, 0(t3)
+    add t5, a1, t2
+    sd t4, 0(t5)
+    addi t0, t0, 1
+    j copy_loop
+copy_done:
+    la a0, dst
+    li s0, 64
+{_CHECKSUM_ASM}
+"""
+
+
+def _memcpy_exit(scale: float) -> int:
+    values = [((i << 3) | 5) & 1023 for i in range(64)]
+    return _weighted_checksum(values)
+
+
+# ---------------------------------------------------------------------------
+# mm — double-precision matrix multiply (FP issue-queue pressure)
+# ---------------------------------------------------------------------------
+
+def _mm_matrices(n: int):
+    a = [[float((i + j) % 5) for j in range(n)] for i in range(n)]
+    b = [[float((i * j) % 7) for j in range(n)] for i in range(n)]
+    return a, b
+
+
+def _mm_source(scale: float) -> str:
+    n = max(6, int(12 * scale))
+    a, b = _mm_matrices(n)
+    flat_a = [v for row in a for v in row]
+    flat_b = [v for row in b for v in row]
+    return f"""
+.data
+{doubles_as_dwords("mat_a", flat_a)}
+{doubles_as_dwords("mat_b", flat_b)}
+mat_c: .space {8 * n * n}
+.text
+_start:
+    la a0, mat_a
+    la a1, mat_b
+    la a2, mat_c
+    li s0, {n}
+    li s1, 0                  # i
+i_loop:
+    bge s1, s0, mm_done
+    li s2, 0                  # j
+j_loop:
+    bge s2, s0, i_next
+    fmv.d.x ft0, zero         # acc = 0.0
+    li s3, 0                  # k
+k_loop:
+    bge s3, s0, k_done
+    mul t0, s1, s0
+    add t0, t0, s3
+    slli t0, t0, 3
+    add t0, a0, t0
+    fld ft1, 0(t0)            # a[i][k]
+    mul t1, s3, s0
+    add t1, t1, s2
+    slli t1, t1, 3
+    add t1, a1, t1
+    fld ft2, 0(t1)            # b[k][j]
+    fmul.d ft3, ft1, ft2
+    fadd.d ft0, ft0, ft3
+    addi s3, s3, 1
+    j k_loop
+k_done:
+    mul t2, s1, s0
+    add t2, t2, s2
+    slli t2, t2, 3
+    add t2, a2, t2
+    fsd ft0, 0(t2)
+    addi s2, s2, 1
+    j j_loop
+i_next:
+    addi s1, s1, 1
+    j i_loop
+mm_done:
+    # exit with (c[0][1] + c[n-1][n-2]) as an integer, mod 4096
+    la a2, mat_c
+    fld ft0, 8(a2)
+    mul t0, s0, s0
+    addi t0, t0, -2
+    slli t0, t0, 3
+    add t0, a2, t0
+    fld ft1, 0(t0)
+    fadd.d ft0, ft0, ft1
+    fcvt.l.d a0, ft0
+    li t1, 4096
+    remu a0, a0, t1
+    li a7, 93
+    ecall
+"""
+
+
+def _mm_exit(scale: float) -> int:
+    n = max(6, int(12 * scale))
+    a, b = _mm_matrices(n)
+
+    def cell(i: int, j: int) -> float:
+        return sum(a[i][k] * b[k][j] for k in range(n))
+
+    return int(cell(0, 1) + cell(n - 1, n - 2)) % 4096
+
+
+# ---------------------------------------------------------------------------
+# vvadd — streaming vector add
+# ---------------------------------------------------------------------------
+
+def _vvadd_source(scale: float) -> str:
+    n = max(128, int(1500 * scale))
+    a = Lcg(41).values(n, 1000)
+    b = Lcg(43).values(n, 1000)
+    return f"""
+.data
+{dwords("vec_a", a)}
+{dwords("vec_b", b)}
+vec_c: .space {8 * n}
+.text
+_start:
+    la a0, vec_a
+    la a1, vec_b
+    la a2, vec_c
+    li s0, {n}
+    li t0, 0
+vv_loop:
+    bge t0, s0, vv_done
+    slli t1, t0, 3
+    add t2, a0, t1
+    ld t3, 0(t2)
+    add t4, a1, t1
+    ld t5, 0(t4)
+    add t3, t3, t5
+    add t6, a2, t1
+    sd t3, 0(t6)
+    addi t0, t0, 1
+    j vv_loop
+vv_done:
+    mv a0, a2
+    li s0, 64
+{_CHECKSUM_ASM}
+"""
+
+
+def _vvadd_exit(scale: float) -> int:
+    n = max(128, int(1500 * scale))
+    a = Lcg(41).values(n, 1000)
+    b = Lcg(43).values(n, 1000)
+    return _weighted_checksum([a[i] + b[i] for i in range(64)])
+
+
+# ---------------------------------------------------------------------------
+# spmv — sparse matrix-vector product (irregular gathers)
+# ---------------------------------------------------------------------------
+
+def _spmv_inputs(scale: float):
+    rows = max(32, int(128 * scale))
+    nnz_per_row = 8
+    x_len = 2048
+    rng = Lcg(53)
+    cols = [rng.below(x_len) for _ in range(rows * nnz_per_row)]
+    vals = [1 + rng.below(9) for _ in range(rows * nnz_per_row)]
+    x = [rng.below(100) for _ in range(x_len)]
+    return rows, nnz_per_row, x_len, cols, vals, x
+
+
+def _spmv_source(scale: float) -> str:
+    rows, nnz, x_len, cols, vals, x = _spmv_inputs(scale)
+    return f"""
+.data
+{dwords("cols", cols)}
+{dwords("vals", vals)}
+{dwords("vec_x", x)}
+vec_y: .space {8 * rows}
+.text
+_start:
+    la a0, cols
+    la a1, vals
+    la a2, vec_x
+    la a3, vec_y
+    li s0, {rows}
+    li s1, {nnz}
+    li t0, 0                  # row
+row_loop:
+    bge t0, s0, spmv_done
+    mul s2, t0, s1            # k = row * nnz
+    add s3, s2, s1            # k_end
+    li s4, 0                  # acc
+nz_loop:
+    bge s2, s3, nz_done
+    slli t1, s2, 3
+    add t2, a0, t1
+    ld t3, 0(t2)              # col
+    add t4, a1, t1
+    ld t5, 0(t4)              # val
+    slli t3, t3, 3
+    add t3, a2, t3
+    ld t6, 0(t3)              # x[col]
+    mul t5, t5, t6
+    add s4, s4, t5
+    addi s2, s2, 1
+    j nz_loop
+nz_done:
+    slli t1, t0, 3
+    add t1, a3, t1
+    sd s4, 0(t1)
+    addi t0, t0, 1
+    j row_loop
+spmv_done:
+    mv a0, a3
+    li s0, 32
+{_CHECKSUM_ASM}
+"""
+
+
+def _spmv_exit(scale: float) -> int:
+    rows, nnz, x_len, cols, vals, x = _spmv_inputs(scale)
+    y = []
+    for row in range(min(rows, 32)):
+        acc = 0
+        for k in range(row * nnz, row * nnz + nnz):
+            acc += vals[k] * x[cols[k]]
+        y.append(acc)
+    return _weighted_checksum(y)
+
+
+# ---------------------------------------------------------------------------
+# towers — recursive Towers of Hanoi (call/return + RAS exercise)
+# ---------------------------------------------------------------------------
+
+def _towers_source(scale: float) -> str:
+    disks = max(6, int(10 * scale))
+    return f"""
+.text
+_start:
+    li a0, {disks}
+    li a1, 0
+    li a2, 1
+    li a3, 2
+    li s0, 0                  # move counter
+    call hanoi
+    li t0, 4096
+    remu a0, s0, t0
+    li a7, 93
+    ecall
+
+hanoi:
+    addi sp, sp, -40
+    sd ra, 0(sp)
+    sd a0, 8(sp)
+    sd a1, 16(sp)
+    sd a2, 24(sp)
+    sd a3, 32(sp)
+    li t0, 1
+    bgt a0, t0, recurse
+    addi s0, s0, 1
+    j unwind
+recurse:
+    # hanoi(n-1, from, via, to)
+    addi a0, a0, -1
+    mv t1, a2
+    mv a2, a3
+    mv a3, t1
+    call hanoi
+    # restore and count this disk's move
+    ld a0, 8(sp)
+    ld a1, 16(sp)
+    ld a2, 24(sp)
+    ld a3, 32(sp)
+    addi s0, s0, 1
+    # hanoi(n-1, via, from, to)
+    addi a0, a0, -1
+    mv t1, a1
+    mv a1, a3
+    mv a3, t1
+    call hanoi
+unwind:
+    ld ra, 0(sp)
+    addi sp, sp, 40
+    ret
+"""
+
+
+def _towers_exit(scale: float) -> int:
+    disks = max(6, int(10 * scale))
+    return ((1 << disks) - 1) % 4096
+
+
+# ---------------------------------------------------------------------------
+# median — 3-point median filter (branchy compare tree)
+# ---------------------------------------------------------------------------
+
+def _median_source(scale: float) -> str:
+    n = max(64, int(400 * scale))
+    values = Lcg(61).values(n, 256)
+    return f"""
+.data
+{dwords("sig", values)}
+flt: .space {8 * n}
+.text
+_start:
+    la a0, sig
+    la a1, flt
+    li s0, {n}
+    li t0, 1
+med_loop:
+    addi t1, s0, -1
+    bge t0, t1, med_done
+    slli t2, t0, 3
+    add t2, a0, t2
+    ld t3, -8(t2)             # lo
+    ld t4, 0(t2)              # mid
+    ld t5, 8(t2)              # hi
+    # sort the three values with compares (branch heavy)
+    ble t3, t4, m1
+    mv t6, t3
+    mv t3, t4
+    mv t4, t6
+m1:
+    ble t4, t5, m2
+    mv t6, t4
+    mv t4, t5
+    mv t5, t6
+m2:
+    ble t3, t4, m3
+    mv t6, t3
+    mv t3, t4
+    mv t4, t6
+m3:
+    slli t2, t0, 3
+    add t2, a1, t2
+    sd t4, 0(t2)
+    addi t0, t0, 1
+    j med_loop
+med_done:
+    mv a0, a1
+    li s0, 48
+{_CHECKSUM_ASM}
+"""
+
+
+def _median_exit(scale: float) -> int:
+    n = max(64, int(400 * scale))
+    values = Lcg(61).values(n, 256)
+    filtered = [0] * n
+    for i in range(1, n - 1):
+        filtered[i] = sorted(values[i - 1:i + 2])[1]
+    return _weighted_checksum(filtered[:48])
+
+
+# ---------------------------------------------------------------------------
+# multiply — software shift-add multiply (serial dependency chain)
+# ---------------------------------------------------------------------------
+
+def _multiply_source(scale: float) -> str:
+    pairs = max(32, int(150 * scale))
+    a = Lcg(71).values(pairs, 1 << 16)
+    b = Lcg(73).values(pairs, 1 << 16)
+    return f"""
+.data
+{dwords("mul_a", a)}
+{dwords("mul_b", b)}
+.text
+_start:
+    la a0, mul_a
+    la a1, mul_b
+    li s0, {pairs}
+    li s1, 0                  # checksum
+    li t0, 0                  # pair index
+pair_loop:
+    bge t0, s0, mul_done
+    slli t1, t0, 3
+    add t2, a0, t1
+    ld t3, 0(t2)              # multiplicand
+    add t4, a1, t1
+    ld t5, 0(t4)              # multiplier
+    li t6, 0                  # product
+    li a2, 16                 # 16 bits
+bit_loop:
+    beqz a2, bit_done
+    andi a3, t5, 1
+    beqz a3, no_add
+    add t6, t6, t3
+no_add:
+    slli t3, t3, 1
+    srli t5, t5, 1
+    addi a2, a2, -1
+    j bit_loop
+bit_done:
+    add s1, s1, t6
+    addi t0, t0, 1
+    j pair_loop
+mul_done:
+    li t0, 4096
+    remu a0, s1, t0
+    li a7, 93
+    ecall
+"""
+
+
+def _multiply_exit(scale: float) -> int:
+    pairs = max(32, int(150 * scale))
+    a = Lcg(71).values(pairs, 1 << 16)
+    b = Lcg(73).values(pairs, 1 << 16)
+    total = sum(x * (y & 0xFFFF) for x, y in zip(a, b))
+    return total % 4096
+
+
+# ---------------------------------------------------------------------------
+# dhrystone — synthetic mixed-op benchmark, high IPC (§V-A)
+# ---------------------------------------------------------------------------
+
+def _dhrystone_source(scale: float) -> str:
+    iterations = max(50, int(300 * scale))
+    return f"""
+.data
+record_a: .dword 1, 2, 3, 4, 5
+record_b: .space 40
+glob:     .dword 0
+.text
+_start:
+    li s0, {iterations}
+    li s1, 0                  # iteration
+    li s2, 0                  # checksum
+dh_loop:
+    bge s1, s0, dh_done
+    call proc_copy
+    # integer arithmetic block
+    addi t0, s1, 7
+    slli t1, t0, 2
+    sub t2, t1, s1
+    andi t3, t2, 255
+    add s2, s2, t3
+    # conditional chain (mostly predictable)
+    andi t4, s1, 3
+    beqz t4, dh_case0
+    li t5, 1
+    beq t4, t5, dh_case1
+    addi s2, s2, 2
+    j dh_next
+dh_case0:
+    addi s2, s2, 5
+    j dh_next
+dh_case1:
+    addi s2, s2, 3
+dh_next:
+    la t6, glob
+    ld a2, 0(t6)
+    add a2, a2, s2
+    sd a2, 0(t6)
+    addi s1, s1, 1
+    j dh_loop
+dh_done:
+    li t0, 4096
+    remu a0, s2, t0
+    li a7, 93
+    ecall
+
+proc_copy:
+    # copy a 5-dword record (struct assignment in Dhrystone)
+    la t0, record_a
+    la t1, record_b
+    ld t2, 0(t0)
+    sd t2, 0(t1)
+    ld t2, 8(t0)
+    sd t2, 8(t1)
+    ld t2, 16(t0)
+    sd t2, 16(t1)
+    ld t2, 24(t0)
+    sd t2, 24(t1)
+    ld t2, 32(t0)
+    sd t2, 32(t1)
+    ret
+"""
+
+
+def _dhrystone_exit(scale: float) -> int:
+    iterations = max(50, int(300 * scale))
+    checksum = 0
+    for i in range(iterations):
+        checksum += ((i + 7) << 2) - i & 255
+        case = i & 3
+        checksum += 5 if case == 0 else 3 if case == 1 else 2
+    return checksum % 4096
+
+
+# ---------------------------------------------------------------------------
+# registration
+# ---------------------------------------------------------------------------
+
+def _register_all() -> None:
+    specs = [
+        ("mergesort", _mergesort_source, _mergesort_exit,
+         "bottom-up merge sort (the motivating example of §III)"),
+        ("qsort", _qsort_source, _qsort_exit,
+         "iterative quicksort; unpredictable pivot branch"),
+        ("rsort", _rsort_source, _rsort_exit,
+         "LSD radix sort; loop-centric, near-ideal IPC"),
+        ("memcpy", _memcpy_source, _memcpy_exit,
+         "streaming 32 KiB copy; Memory-Bound standout"),
+        ("mm", _mm_source, _mm_exit,
+         "double-precision matrix multiply (FP queue pressure)"),
+        ("vvadd", _vvadd_source, _vvadd_exit,
+         "streaming vector add"),
+        ("spmv", _spmv_source, _spmv_exit,
+         "CSR sparse matrix-vector product (irregular gathers)"),
+        ("towers", _towers_source, _towers_exit,
+         "recursive Towers of Hanoi (call/return, RAS)"),
+        ("median", _median_source, _median_exit,
+         "3-point median filter (branchy compare tree)"),
+        ("multiply", _multiply_source, _multiply_exit,
+         "software shift-add multiply (serial dependencies)"),
+        ("dhrystone", _dhrystone_source, _dhrystone_exit,
+         "synthetic mixed-op benchmark; high IPC"),
+    ]
+    for name, builder, exit_fn, description in specs:
+        register(Workload(
+            name=name, category="micro", source_builder=builder,
+            description=description, expected_exit=exit_fn))
+
+
+_register_all()

@@ -1,0 +1,109 @@
+"""Workload registry: every benchmark the evaluation uses, by name.
+
+A workload is a function from a *scale* factor to assembly source; the
+registry assembles and functionally executes on demand, caching both per
+process (the trace of a workload at a given scale never changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..isa import DynamicTrace, Program, assemble, execute
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered benchmark.
+
+    Attributes:
+        name: registry key (e.g. ``"mergesort"`` or ``"505.mcf_r"``).
+        category: ``micro``, ``spec``, or ``case-study``.
+        source_builder: callable producing assembly text for a scale.
+        description: one-line summary shown in reports.
+        expected_exit: callable producing the exit code the kernel must
+            produce at a given scale (``None`` to skip the check).
+    """
+
+    name: str
+    category: str
+    source_builder: Callable[[float], str]
+    description: str = ""
+    expected_exit: Optional[Callable[[float], int]] = None
+
+
+_REGISTRY: Dict[str, Workload] = {}
+_PROGRAM_CACHE: Dict[Tuple[str, float], Program] = {}
+_TRACE_CACHE: Dict[Tuple[str, float], DynamicTrace] = {}
+
+
+def register(workload: Workload) -> Workload:
+    """Add *workload* to the registry (name must be unique)."""
+    if workload.name in _REGISTRY:
+        raise ValueError(f"workload {workload.name!r} already registered")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def workload_names(category: Optional[str] = None) -> List[str]:
+    """All registered names, optionally filtered by category."""
+    _ensure_loaded()
+    return sorted(name for name, w in _REGISTRY.items()
+                  if category is None or w.category == category)
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload; raises KeyError with suggestions."""
+    _ensure_loaded()
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]
+
+
+def build_program(name: str, scale: float = 1.0) -> Program:
+    """Assemble the workload (cached per (name, scale))."""
+    key = (name, scale)
+    if key not in _PROGRAM_CACHE:
+        workload = get_workload(name)
+        source = workload.source_builder(scale)
+        _PROGRAM_CACHE[key] = assemble(source, name=name)
+    return _PROGRAM_CACHE[key]
+
+
+def build_trace(name: str, scale: float = 1.0) -> DynamicTrace:
+    """Assemble and functionally execute the workload (cached).
+
+    Verifies the workload's ``expected_exit`` code, so a broken kernel
+    fails loudly instead of producing a meaningless characterization.
+    """
+    key = (name, scale)
+    if key not in _TRACE_CACHE:
+        workload = get_workload(name)
+        trace = execute(build_program(name, scale))
+        if workload.expected_exit is not None:
+            expected = workload.expected_exit(scale)
+            if trace.exit_code != expected:
+                raise AssertionError(
+                    f"workload {name!r} exited with {trace.exit_code}, "
+                    f"expected {expected}")
+        _TRACE_CACHE[key] = trace
+    return _TRACE_CACHE[key]
+
+
+def clear_caches() -> None:
+    """Drop cached programs/traces (mostly for tests)."""
+    _PROGRAM_CACHE.clear()
+    _TRACE_CACHE.clear()
+
+
+_LOADED = False
+
+
+def _ensure_loaded() -> None:
+    """Import the workload modules so their register() calls run."""
+    global _LOADED
+    if not _LOADED:
+        from . import casestudy, micro, spec  # noqa: F401
+        _LOADED = True

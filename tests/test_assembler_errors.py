@@ -1,0 +1,89 @@
+"""Negative-path tests: the assembler must fail loudly and precisely."""
+
+import pytest
+
+from repro.isa import AssemblerError, assemble
+
+
+def expect_error(source: str, fragment: str = ""):
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble(source)
+    if fragment:
+        assert fragment in str(excinfo.value)
+    return excinfo.value
+
+
+def test_error_carries_line_number():
+    error = expect_error("nop\nnop\nbogus a0, a1\n")
+    assert "line 3" in str(error)
+
+
+def test_wrong_operand_count():
+    expect_error("add a0, a1", "bad operands")
+
+
+def test_bad_register_name():
+    expect_error("add a0, a1, q9", "bad operands")
+
+
+def test_bad_memory_operand():
+    expect_error("ld a0, a1", "expected imm(reg)")
+
+
+def test_non_integer_immediate():
+    expect_error("addi a0, a1, banana", "expected integer")
+
+
+def test_instruction_in_data_section():
+    expect_error(".data\nadd a0, a1, a2", "outside .text")
+
+
+def test_data_directive_in_text_section():
+    expect_error(".text\n.dword 5", "outside .data")
+
+
+def test_unknown_directive():
+    expect_error(".frobnicate 3", "unknown directive")
+
+
+def test_unknown_section():
+    expect_error(".section .weird", "unknown section")
+
+
+def test_equ_requires_value():
+    expect_error(".equ FOO", ".equ needs NAME, VALUE")
+
+
+def test_unterminated_string():
+    expect_error('.data\nmsg: .asciz "oops', "string literal")
+
+
+def test_forward_data_reference_rejected():
+    expect_error(".data\nptr: .dword later\nlater: .dword 1",
+                 "forward data reference")
+
+
+def test_undefined_branch_target():
+    expect_error("beq a0, a1, nowhere", "undefined symbol")
+
+
+def test_duplicate_labels():
+    expect_error("x: nop\nx: nop", "duplicate label")
+
+
+def test_bad_symbol_offset():
+    expect_error("""
+    .data
+    arr: .dword 1
+    .text
+    la a0, arr+banana
+    """, "bad symbol offset")
+
+
+def test_csr_name_unknown():
+    expect_error("csrr t0, mfantasy", "expected integer")
+
+
+def test_empty_source_assembles_to_empty_program():
+    program = assemble("")
+    assert len(program) == 0

@@ -1,0 +1,268 @@
+"""Unit tests for the BOOM timing model."""
+
+from repro.cores import BoomCore, LARGE_BOOM, SMALL_BOOM
+from repro.isa import assemble, execute
+from repro.trace import (boom_tma_bundle, capture_trace, modal_length,
+                         recovery_sequences)
+
+
+def run_boom(source: str, config=LARGE_BOOM):
+    program = assemble(source)
+    trace = execute(program)
+    return BoomCore(config).run(trace), trace
+
+
+# Looped so the I$ warms up: the assertion targets steady-state IPC.
+INDEPENDENT_ALU = """
+_start:
+    li t0, 0
+    li t1, 0
+    li t2, 0
+    li s0, 0
+outer:
+""" + "\n".join(f"""
+    addi t0, t0, 1
+    addi t1, t1, 2
+    addi t2, t2, 3
+""" for _ in range(30)) + """
+    addi s0, s0, 1
+    li s1, 60
+    blt s0, s1, outer
+    li a7, 93
+    ecall
+"""
+
+
+def test_superscalar_ipc_above_one():
+    # LargeBOOM has two integer issue ports, so pure-ALU code tops out
+    # at IPC 2; require most of that once the I$ warms up.
+    result, _ = run_boom(INDEPENDENT_ALU)
+    assert result.ipc > 1.5
+
+
+def test_all_instructions_retire():
+    result, trace = run_boom(INDEPENDENT_ALU)
+    assert result.instret == len(trace)
+
+
+def test_issued_at_least_retired():
+    result, _ = run_boom(INDEPENDENT_ALU)
+    assert result.event("uops_issued") >= result.event("uops_retired")
+    assert result.event("uops_retired") == result.instret
+
+
+def test_commit_width_bounds_per_lane_retire():
+    result, _ = run_boom(INDEPENDENT_ALU)
+    lanes = result.lanes("uops_retired")
+    assert 0 < len(lanes) <= LARGE_BOOM.decode_width
+    # lane 0 commits most often (in-order commit fills lane 0 first)
+    assert lanes[0] == max(lanes)
+
+
+def test_wrong_path_phantoms_inflate_issue_count():
+    """Unpredictable branches must create issued-but-not-retired µops."""
+    result, _ = run_boom("""
+    _start:
+        li s2, 12345
+        li t0, 0
+        li t1, 400
+    loop:
+        slli t2, s2, 13
+        xor s2, s2, t2
+        srli t2, s2, 7
+        xor s2, s2, t2
+        slli t2, s2, 17
+        xor s2, s2, t2
+        andi t3, s2, 1
+        beqz t3, skip
+        addi t4, t4, 1
+    skip:
+        addi t0, t0, 1
+        blt t0, t1, loop
+        li a7, 93
+        ecall
+    """)
+    assert result.event("br_mispredict") > 50
+    assert result.event("uops_issued") > result.event("uops_retired")
+    assert result.event("recovering") > 100
+
+
+def test_recovering_window_is_four_cycles():
+    """Fig. 8b: the dominant Recovering sequence lasts 4 cycles."""
+    program = assemble("""
+    _start:
+        li s2, 99
+        li t0, 0
+        li t1, 300
+    loop:
+        slli t2, s2, 13
+        xor s2, s2, t2
+        srli t2, s2, 7
+        xor s2, s2, t2
+        andi t3, s2, 1
+        beqz t3, skip
+        addi t4, t4, 1
+    skip:
+        addi t0, t0, 1
+        blt t0, t1, loop
+        li a7, 93
+        ecall
+    """)
+    trace = execute(program)
+    core = BoomCore(LARGE_BOOM)
+    tracer = capture_trace(core, trace, boom_tma_bundle(3, 5))
+    sequences = recovery_sequences(tracer.signal("recovering"))
+    assert sequences, "expected mispredict recoveries"
+    lengths = [s.length for s in sequences]
+    assert modal_length(lengths) == 4
+
+
+def test_dcache_blocked_requires_mshr_and_nonempty_queue():
+    """Pointer chasing keeps dependent loads waiting on MSHRs."""
+    chase = "\n".join("""
+        slli t2, t0, 3
+        add t2, a0, t2
+        ld t0, 0(t2)
+    """ for _ in range(200))
+    source = """
+    .data
+    ring: .space 65536
+    .text
+    _start:
+        la a0, ring
+        li t0, 0
+        # build a strided self-ring: ring[i] -> (i + 509) % 8192
+        li t1, 0
+    init:
+        li t2, 8192
+        bge t1, t2, init_done
+        addi t3, t1, 509
+        remu t3, t3, t2
+        slli t4, t1, 3
+        add t4, a0, t4
+        sd t3, 0(t4)
+        addi t1, t1, 1
+        j init
+    init_done:
+    """ + chase + """
+        li a7, 93
+        ecall
+    """
+    result, _ = run_boom(source)
+    assert result.event("dcache_blocked") > 0
+    lanes = result.lanes("dcache_blocked")
+    # Slot k can only be unfilled if slot k-1 was: monotone counts.
+    assert lanes == sorted(lanes)
+
+
+def test_fence_retired_and_flush_semantics():
+    result, _ = run_boom("""
+    _start:
+        addi t0, t0, 1
+        fence
+        addi t0, t0, 2
+        fence
+        addi t0, t0, 3
+        li a7, 93
+        ecall
+    """)
+    assert result.event("fence_retired") == 2
+    assert result.event("recovering") > 0
+
+
+def test_machine_clear_on_store_load_aliasing():
+    """A load racing an older same-address store must machine-clear
+    once, then train the store-set predictor."""
+    result, _ = run_boom("""
+    .data
+    slot: .dword 1
+    cold: .space 65536
+    .text
+    _start:
+        la a0, slot
+        la a1, cold
+        li t0, 0
+        li t1, 30
+    loop:
+        # a slow store address: depends on a cold load
+        slli t2, t0, 9
+        add t3, a1, t2
+        ld t4, 0(t3)          # cold miss: delays the store below
+        add t5, a0, t4        # t4 is 0: t5 == a0, but late
+        sd t0, 0(t5)          # store to slot, address known late
+        ld t6, 0(a0)          # younger load to the same address
+        add s1, s1, t6
+        addi t0, t0, 1
+        blt t0, t1, loop
+        li a7, 93
+        ecala_placeholder
+    """.replace("ecala_placeholder", "ecall"))
+    assert result.extra["machine_clears"] >= 1
+    # The store-set predictor keeps it rare (not one per iteration).
+    assert result.extra["machine_clears"] <= 5
+
+
+def test_per_lane_uops_issued_fp_lane_used_only_by_fp():
+    fp_source = """
+    _start:
+        li t0, 3
+        fcvt.d.l ft0, t0
+        fcvt.d.l ft1, t0
+""" + "\n".join("""
+        fadd.d ft2, ft0, ft1
+        fmul.d ft3, ft0, ft1
+""" for _ in range(50)) + """
+        li a7, 93
+        ecall
+    """
+    result, _ = run_boom(fp_source)
+    lanes = result.lanes("uops_issued")
+    issue_width = LARGE_BOOM.issue_width
+    assert len(lanes) == issue_width
+    assert lanes[-1] > 0            # FP port (last lane) used
+
+    int_result, _ = run_boom(INDEPENDENT_ALU)
+    int_lanes = int_result.lanes("uops_issued")
+    if len(int_lanes) == issue_width:
+        assert int_lanes[-1] == 0   # FP port idle for integer code
+
+
+def test_small_boom_is_slower_than_large():
+    big, _ = run_boom(INDEPENDENT_ALU, LARGE_BOOM)
+    small, _ = run_boom(INDEPENDENT_ALU, SMALL_BOOM)
+    assert small.cycles > big.cycles
+
+
+def test_icache_blocked_asserted_during_cold_refills():
+    result, _ = run_boom(INDEPENDENT_ALU)
+    assert result.event("icache_blocked") >= 1
+
+
+def test_fetch_bubbles_suppressed_while_recovering():
+    """fetch_bubbles and recovering are mutually exclusive per cycle."""
+    program = assemble("""
+    _start:
+        li s2, 7
+        li t0, 0
+        li t1, 150
+    loop:
+        slli t2, s2, 13
+        xor s2, s2, t2
+        srli t2, s2, 7
+        xor s2, s2, t2
+        andi t3, s2, 1
+        beqz t3, skip
+        addi t4, t4, 1
+    skip:
+        addi t0, t0, 1
+        blt t0, t1, loop
+        li a7, 93
+        ecall
+    """)
+    trace = execute(program)
+    tracer = capture_trace(BoomCore(LARGE_BOOM), trace,
+                           boom_tma_bundle(3, 5))
+    bubbles = tracer.signal("fetch_bubbles")
+    recovering = tracer.signal("recovering")
+    overlap = sum(1 for b, r in zip(bubbles, recovering) if b and r)
+    assert overlap == 0

@@ -1,0 +1,139 @@
+"""Unit tests for the tma_tool command-line interface."""
+
+import pytest
+
+from repro.tools.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_list_all(capsys):
+    code, out, _ = run_cli(capsys, "list")
+    assert code == 0
+    assert "mergesort" in out
+    assert "505.mcf_r" in out
+
+
+def test_list_filtered_category(capsys):
+    code, out, _ = run_cli(capsys, "list", "--category", "case-study")
+    assert code == 0
+    assert "brmiss" in out
+    assert "505.mcf_r" not in out
+
+
+def test_tma_command(capsys):
+    code, out, _ = run_cli(capsys, "tma", "--workload", "vvadd",
+                           "--config", "rocket", "--scale", "0.2",
+                           "--top-only")
+    assert code == 0
+    assert "Retiring" in out
+    assert "vvadd on Rocket" in out
+
+
+def test_tma_level2_included_by_default(capsys):
+    code, out, _ = run_cli(capsys, "tma", "--workload", "vvadd",
+                           "--config", "rocket", "--scale", "0.2")
+    assert code == 0
+    assert "level 2" in out
+
+
+def test_trace_command_anchors_on_first_event(capsys):
+    code, out, _ = run_cli(capsys, "trace", "--workload", "vvadd",
+                           "--config", "rocket", "--scale", "0.2",
+                           "--signals", "icache_miss,fetch_bubbles",
+                           "--window", "40")
+    assert code == 0
+    assert "icache_miss" in out
+    assert "|" in out
+
+
+def test_trace_rejects_unknown_signal(capsys):
+    code, out, err = run_cli(capsys, "trace", "--workload", "vvadd",
+                             "--config", "rocket", "--scale", "0.2",
+                             "--signals", "flux_capacitor")
+    assert code == 1
+    assert "unknown signal" in err
+
+
+def test_vlsi_command(capsys):
+    code, out, _ = run_cli(capsys, "vlsi")
+    assert code == 0
+    assert "GigaBOOMV3" in out
+    assert "distributed" in out
+
+
+def test_perf_command_distributed(capsys):
+    code, out, _ = run_cli(capsys, "perf", "--workload", "median",
+                           "--config", "large-boom", "--scale", "0.2",
+                           "--events", "uops_retired,recovering",
+                           "--counter-arch", "distributed")
+    assert code == 0
+    assert "uops_retired" in out
+    assert "passes=1" in out
+
+
+def test_perf_show_tma(capsys):
+    code, out, _ = run_cli(capsys, "perf", "--workload", "median",
+                           "--config", "rocket", "--scale", "0.2",
+                           "--show-tma")
+    assert code == 0
+    assert "Retiring" in out
+
+
+def test_suite_command(capsys):
+    code, out, _ = run_cli(capsys, "suite", "--category", "case-study",
+                           "--config", "rocket", "--scale", "0.2")
+    assert code == 0
+    assert "brmiss" in out
+    assert "IPC" in out
+
+
+def test_report_command(tmp_path, capsys):
+    artifacts = tmp_path / "out"
+    artifacts.mkdir()
+    (artifacts / "fig1_demo.txt").write_text("demo table\n")
+    output = tmp_path / "REPORT.md"
+    code, out, _ = run_cli(capsys, "report", "--artifacts",
+                           str(artifacts), "--output", str(output))
+    assert code == 0
+    text = output.read_text()
+    assert "## fig1_demo" in text
+    assert "demo table" in text
+
+
+def test_report_command_missing_artifacts(tmp_path, capsys):
+    code, _, err = run_cli(capsys, "report", "--artifacts",
+                           str(tmp_path / "nope"))
+    assert code == 1
+    assert "no artifacts" in err
+
+
+def test_mix_command(capsys):
+    code, out, _ = run_cli(capsys, "mix", "--workload", "median",
+                           "--scale", "0.2")
+    assert code == 0
+    assert "instruction mix" in out
+    assert "branches" in out
+
+
+def test_suite_export_flags(tmp_path, capsys):
+    json_path = tmp_path / "suite.json"
+    csv_path = tmp_path / "suite.csv"
+    code, out, _ = run_cli(capsys, "suite", "--category", "case-study",
+                           "--config", "rocket", "--scale", "0.2",
+                           "--json", str(json_path),
+                           "--csv", str(csv_path))
+    assert code == 0
+    assert json_path.exists() and csv_path.exists()
+    assert "brmiss" in json_path.read_text()
+    assert csv_path.read_text().startswith("workload,")

@@ -1,0 +1,83 @@
+"""Unit tests for the JSON/CSV export schema."""
+
+import json
+
+import pytest
+
+from repro.core import (SCHEMA_VERSION, compute_level3, compute_tma,
+                        from_json, result_to_dict, to_csv, to_json)
+from repro.core.tma import TmaInputs
+from repro.cores import LARGE_BOOM
+from repro.tools import run_core
+
+
+def sample_result(workload="w", retired=900):
+    inputs = TmaInputs(core="boom", workload=workload, config_name="c",
+                       cycles=1000, commit_width=3,
+                       events={"uops_retired": retired,
+                               "instr_retired": retired})
+    return compute_tma(inputs)
+
+
+def test_result_to_dict_fields():
+    payload = result_to_dict(sample_result())
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["workload"] == "w"
+    assert payload["ipc"] == pytest.approx(0.9)
+    assert set(payload["level1"]) == {
+        "retiring", "bad_speculation", "frontend", "backend"}
+    assert payload["events"]["uops_retired"] == 900
+
+
+def test_single_result_json_is_object():
+    document = to_json([sample_result()])
+    assert json.loads(document)["workload"] == "w"
+
+
+def test_multi_result_json_is_array():
+    document = to_json([sample_result("a"), sample_result("b")])
+    parsed = json.loads(document)
+    assert [item["workload"] for item in parsed] == ["a", "b"]
+
+
+def test_from_json_round_trip():
+    document = to_json([sample_result("x", retired=600)])
+    items = from_json(document)
+    assert items[0]["workload"] == "x"
+    assert items[0]["level1"]["retiring"] == pytest.approx(0.2)
+
+
+def test_from_json_rejects_wrong_schema():
+    document = json.dumps({"schema_version": 99})
+    with pytest.raises(ValueError):
+        from_json(document)
+
+
+def test_csv_layout():
+    text = to_csv([sample_result("a"), sample_result("b", retired=300)])
+    lines = text.strip().splitlines()
+    assert len(lines) == 3
+    header = lines[0].split(",")
+    assert header[:3] == ["workload", "config", "core"]
+    assert "retiring" in header
+    assert "mem_bound" in header
+
+
+def test_csv_empty():
+    assert to_csv([]) == ""
+
+
+def test_level3_attached_when_provided():
+    result = run_core("vvadd", LARGE_BOOM, scale=0.2)
+    base = compute_tma(result)
+    payload = result_to_dict(base, level3=compute_level3(result, base))
+    assert "level3" in payload
+    assert set(payload["level3"]) >= {"l1_bound", "dram_bound",
+                                      "tlb_bound"}
+
+
+def test_export_is_json_serializable_for_real_run():
+    result = run_core("vvadd", LARGE_BOOM, scale=0.2)
+    document = to_json([compute_tma(result)])
+    parsed = from_json(document)
+    assert parsed[0]["cycles"] == result.cycles

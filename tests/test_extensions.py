@@ -1,0 +1,82 @@
+"""Unit tests for the level-3 TMA extension."""
+
+import pytest
+
+from repro.core import compute_level3, compute_tma
+from repro.core.extensions import _memory_level_shares, _tlb_bound
+from repro.cores import LARGE_BOOM, ROCKET
+from repro.cores.base import CoreResult
+from repro.tools import run_core
+from repro.uarch.branch import PredictorStats
+from repro.uarch.cache import CacheStats
+
+
+def fake_result(l1_misses=0, l2_misses=0, events=None, core="boom",
+                cycles=1000, commit_width=3) -> CoreResult:
+    return CoreResult(
+        workload="fake", config_name="c", core=core, cycles=cycles,
+        instret=0, events=events or {}, lane_events={},
+        commit_width=commit_width, issue_width=5,
+        l1i_stats=CacheStats(),
+        l1d_stats=CacheStats(accesses=10 * max(1, l1_misses),
+                             misses=l1_misses),
+        l2_stats=CacheStats(accesses=max(1, l1_misses),
+                            misses=l2_misses),
+        predictor_stats=PredictorStats())
+
+
+def test_memory_shares_sum_to_one():
+    shares = _memory_level_shares(fake_result(l1_misses=100,
+                                              l2_misses=40))
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert all(v >= 0 for v in shares.values())
+
+
+def test_memory_shares_all_l1_when_no_misses():
+    shares = _memory_level_shares(fake_result())
+    assert shares == {"l1": 1.0, "l2": 0.0, "dram": 0.0}
+
+
+def test_dram_share_dominates_when_l2_misses():
+    shares = _memory_level_shares(fake_result(l1_misses=100,
+                                              l2_misses=100))
+    assert shares["dram"] > shares["l2"]
+
+
+def test_l2_share_dominates_when_l2_absorbs():
+    shares = _memory_level_shares(fake_result(l1_misses=1000,
+                                              l2_misses=1))
+    assert shares["l2"] > shares["dram"]
+
+
+def test_tlb_bound_zero_without_misses():
+    assert _tlb_bound(fake_result()) == 0.0
+
+
+def test_tlb_bound_counts_walks():
+    result = fake_result(events={"dtlb_miss": 10, "l2_tlb_miss": 5})
+    bound = _tlb_bound(result)
+    assert 0 < bound <= 1.0
+
+
+def test_level3_splits_membound():
+    result = run_core("memcpy", LARGE_BOOM, scale=0.3)
+    level3 = compute_level3(result)
+    base = compute_tma(result)
+    total = level3.l1_bound + level3.l2_bound + level3.dram_bound
+    assert total == pytest.approx(base.level2["mem_bound"], abs=1e-9)
+    assert "MemBound drill-down" in level3.render()
+
+
+def test_level3_rocket_breakdown_present():
+    result = run_core("coremark", ROCKET, scale=0.3)
+    level3 = compute_level3(result)
+    assert set(level3.core_breakdown) == {
+        "load-use", "mul/div", "long-lat", "serialize"}
+    assert "CoreBound drill-down" in level3.render()
+
+
+def test_level3_boom_has_no_interlock_breakdown():
+    result = run_core("vvadd", LARGE_BOOM, scale=0.2)
+    level3 = compute_level3(result)
+    assert level3.core_breakdown == {}

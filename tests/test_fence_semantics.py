@@ -1,0 +1,78 @@
+"""Integration tests for fence accounting (the Table II fence terms).
+
+Fences cause *intended* pipeline flushes; the paper adds the
+Fence-retired counter specifically so those slots are not blamed on
+speculation ("strictly speaking, we want to avoid considering slots
+lost by intended pipeline flushes by fence instructions", §IV-A).
+"""
+
+import pytest
+
+from repro.core import compute_tma
+from repro.cores import BoomCore, LARGE_BOOM, ROCKET, RocketCore
+from repro.isa import AsmBuilder, execute
+
+
+def fence_kernel(fences: bool, iterations: int = 120):
+    builder = AsmBuilder()
+    builder.dword("cells", [3] * 8)
+    builder.label("_start")
+    builder.emit("la a0, cells")
+    builder.emit("li s1, 0")
+    with builder.loop("work", trip_reg="t0", bound=iterations):
+        builder.emit("ld t1, 0(a0)")
+        builder.emit("add s1, s1, t1")
+        builder.emit("sd s1, 8(a0)")
+        if fences:
+            builder.emit("fence")
+        else:
+            builder.emit("add s2, s2, t1")  # same instruction count
+    builder.exit(code_reg="s1")
+    return execute(builder.assemble(
+        name="fences" if fences else "nofences"))
+
+
+@pytest.fixture(scope="module")
+def fence_runs():
+    with_fences = fence_kernel(True)
+    without = fence_kernel(False)
+    return {
+        "boom_fenced": BoomCore(LARGE_BOOM).run(with_fences),
+        "boom_plain": BoomCore(LARGE_BOOM).run(without),
+        "rocket_fenced": RocketCore(ROCKET).run(with_fences),
+    }
+
+
+def test_fences_cost_cycles(fence_runs):
+    assert fence_runs["boom_fenced"].cycles \
+        > fence_runs["boom_plain"].cycles
+
+
+def test_fence_retired_counts_every_fence(fence_runs):
+    assert fence_runs["boom_fenced"].event("fence_retired") == 120
+    assert fence_runs["boom_plain"].event("fence_retired") == 0
+    assert fence_runs["rocket_fenced"].event("fence") == 120
+
+
+def test_fence_slots_not_blamed_on_branch_mispredicts(fence_runs):
+    """The fence terms keep M_br_mr low: recovery after fences must not
+    inflate the Branch-Mispredict subclass."""
+    fenced = compute_tma(fence_runs["boom_fenced"])
+    # Almost all flushes in this kernel are fences, so the non-fence
+    # flush ratio keeps lost-uop attribution to branch mispredicts near
+    # the plain-kernel level.
+    assert fenced.metrics["m_tf"] >= 120
+    assert fenced.level2["machine_clears"] < 0.01
+    # Recovering slots exist (frontend restarts after each fence)...
+    assert fence_runs["boom_fenced"].event("recovering") > 100
+    # ...and the model books them under BadSpec's recovery bubbles, not
+    # under machine clears or resteering.
+    assert fenced.level2["recovery_bubbles"] \
+        >= fenced.level2["resteering"]
+
+
+def test_fenced_kernel_dominated_by_backend_or_badspec_not_frontend(
+        fence_runs):
+    fenced = compute_tma(fence_runs["boom_fenced"])
+    assert fenced.level1["frontend"] < 0.25
+    assert fenced.top_level_sum() == pytest.approx(1.0)

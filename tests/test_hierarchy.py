@@ -1,0 +1,97 @@
+"""Unit tests for the hierarchical TMA tree."""
+
+import pytest
+
+from repro.core import (TmaInputs, TmaNode, build_tree, compute_level3,
+                        compute_tma, render_tree)
+from repro.cores import LARGE_BOOM, ROCKET
+from repro.tools import run_core
+
+
+def boom_result(**events):
+    base = {"cycles": 1000}
+    base.update(events)
+    inputs = TmaInputs(core="boom", workload="w", config_name="c",
+                       cycles=base.pop("cycles"), commit_width=3,
+                       events=base)
+    return compute_tma(inputs)
+
+
+def test_tree_has_four_top_level_classes():
+    tree = build_tree(boom_result(uops_retired=900))
+    assert [c.name for c in tree.children] == [
+        "Retiring", "BadSpeculation", "Frontend", "Backend"]
+
+
+def test_tree_fractions_match_result():
+    result = boom_result(uops_retired=900, fetch_bubbles=300,
+                         dcache_blocked=600)
+    tree = build_tree(result)
+    assert tree.child("Retiring").fraction \
+        == pytest.approx(result.level1["retiring"])
+    backend = tree.child("Backend")
+    assert backend.child("MemBound").fraction \
+        == pytest.approx(result.level2["mem_bound"])
+
+
+def test_boom_badspec_subtree():
+    result = boom_result(uops_retired=800, uops_issued=1000,
+                         br_mispredict=10, recovering=40, flush=2)
+    tree = build_tree(result)
+    mispredicts = tree.child("BadSpeculation").child("BranchMispredicts")
+    assert [c.name for c in mispredicts.children] == [
+        "Resteering", "RecoveryBubbles"]
+
+
+def test_rocket_corebound_subtree():
+    result = compute_tma(TmaInputs(
+        core="rocket", workload="w", config_name="Rocket", cycles=1000,
+        commit_width=1,
+        events={"instr_retired": 600, "load_use_interlock": 50,
+                "muldiv_interlock": 30, "long_latency_interlock": 20}))
+    tree = build_tree(result)
+    core = tree.child("Backend").child("CoreBound")
+    names = [c.name for c in core.children]
+    assert names == ["LoadUse", "MulDiv", "LongLatency"]
+    assert core.child("LoadUse").fraction == pytest.approx(0.05)
+
+
+def test_level3_leaves_attach_under_membound():
+    result = run_core("memcpy", LARGE_BOOM, scale=0.3)
+    base = compute_tma(result)
+    level3 = compute_level3(result, base)
+    tree = build_tree(base, level3=level3)
+    mem = tree.child("Backend").child("MemBound")
+    assert {c.name for c in mem.children} == {
+        "L1-bound", "L2-bound", "DRAM-bound"}
+    assert mem.child("DRAM-bound").fraction \
+        == pytest.approx(level3.dram_bound)
+
+
+def test_dominant_path_follows_biggest_class():
+    result = boom_result(uops_retired=300, dcache_blocked=2400)
+    path = build_tree(result).dominant_path()
+    names = [node.name for node in path]
+    assert names[1] == "Backend"
+    assert names[2] == "MemBound"
+
+
+def test_walk_preorder_depths():
+    tree = build_tree(boom_result(uops_retired=900))
+    depths = [depth for depth, _ in tree.walk()]
+    assert depths[0] == 0
+    assert max(depths) >= 2
+
+
+def test_child_lookup_error():
+    tree = build_tree(boom_result(uops_retired=900))
+    with pytest.raises(KeyError):
+        tree.child("Mystery")
+
+
+def test_render_tree_output():
+    result = run_core("vvadd", ROCKET, scale=0.2)
+    text = render_tree(compute_tma(result))
+    assert "TMA hierarchy: vvadd" in text
+    assert "MemBound" in text
+    assert "LoadUse" in text

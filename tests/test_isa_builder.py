@@ -1,0 +1,94 @@
+"""Unit tests for the programmatic assembly builder."""
+
+import pytest
+
+from repro.isa import AsmBuilder, execute
+
+
+def test_minimal_program():
+    builder = AsmBuilder()
+    builder.label("_start")
+    builder.exit(code=7)
+    trace = execute(builder.assemble())
+    assert trace.exit_code == 7
+
+
+def test_data_helpers_round_trip():
+    builder = AsmBuilder()
+    builder.dword("arr", [10, 20, 30])
+    builder.space("buf", 16)
+    builder.asciz("msg", 'hi "there"')
+    builder.label("_start")
+    builder.emit("la t0, arr")
+    builder.emit("ld a0, 16(t0)")
+    builder.exit()
+    trace = execute(builder.assemble())
+    assert trace.exit_code == 30
+
+
+def test_loop_context_manager():
+    builder = AsmBuilder()
+    builder.label("_start")
+    builder.emit("li s1, 0")
+    with builder.loop("accumulate", trip_reg="t0", bound=10):
+        builder.emit("add s1, s1, t0")
+    builder.exit(code_reg="s1")
+    trace = execute(builder.assemble())
+    assert trace.exit_code == sum(range(10))
+
+
+def test_fresh_labels_are_unique():
+    builder = AsmBuilder()
+    a = builder.fresh_label()
+    b = builder.fresh_label()
+    assert a != b
+    builder.label("_start")
+    builder.emit(f"j {a}")
+    builder.label(a)
+    builder.emit(f"j {b}")
+    builder.label(b)
+    builder.exit(code=1)
+    assert execute(builder.assemble()).exit_code == 1
+
+
+def test_call_helper_and_comment():
+    builder = AsmBuilder()
+    builder.label("_start")
+    builder.comment("call a leaf function")
+    builder.call("leaf")
+    builder.exit()
+    builder.label("leaf")
+    builder.emit("li a0, 42")
+    builder.emit("ret")
+    assert execute(builder.assemble()).exit_code == 42
+
+
+def test_source_renders_sections_in_order():
+    builder = AsmBuilder()
+    builder.dword("d", [1])
+    builder.label("_start")
+    builder.exit(code=0)
+    source = builder.source()
+    assert source.index(".data") < source.index(".text")
+    assert "d:" in source
+
+
+def test_builder_program_runs_on_core():
+    from repro.cores import ROCKET, RocketCore
+
+    builder = AsmBuilder()
+    builder.dword("values", list(range(64)))
+    builder.label("_start")
+    builder.emit("la a0, values")
+    builder.emit("li s1, 0")
+    with builder.loop("walk", trip_reg="t0", bound=64):
+        builder.emit("slli t1, t0, 3")
+        builder.emit("add t1, a0, t1")
+        builder.emit("ld t2, 0(t1)")
+        builder.emit("add s1, s1, t2")
+    builder.exit(code_reg="s1")
+    program = builder.assemble(name="builder-demo")
+    trace = execute(program)
+    assert trace.exit_code == sum(range(64))
+    result = RocketCore(ROCKET).run(trace)
+    assert result.instret == len(trace)

@@ -1,0 +1,127 @@
+"""Unit tests for the CSR address map, Program container, and configs."""
+
+import pytest
+
+from repro.cores import (ALL_BOOM_CONFIGS, CONFIGS_BY_NAME, LARGE_BOOM,
+                         ROCKET, config_by_name)
+from repro.isa import Instruction, Program, assemble
+from repro.isa.csrs import (CSR_ADDRS, CSR_NAMES, MCOUNTINHIBIT, MCYCLE,
+                            mhpmcounter_addr, mhpmevent_addr)
+
+
+# ---------------------------------------------------------------------------
+# CSR map
+# ---------------------------------------------------------------------------
+
+def test_csr_names_cover_all_hpm_counters():
+    for index in range(3, 32):
+        assert f"mhpmcounter{index}" in CSR_ADDRS
+        assert f"mhpmevent{index}" in CSR_ADDRS
+        assert f"hpmcounter{index}" in CSR_ADDRS
+
+
+def test_csr_addresses_match_privileged_spec():
+    assert CSR_ADDRS["mcycle"] == 0xB00
+    assert CSR_ADDRS["minstret"] == 0xB02
+    assert CSR_ADDRS["mhpmcounter3"] == 0xB03
+    assert CSR_ADDRS["mhpmevent3"] == 0x323
+    assert CSR_ADDRS["mcountinhibit"] == 0x320
+    assert CSR_ADDRS["cycle"] == 0xC00
+
+
+def test_helper_functions_and_bounds():
+    assert mhpmcounter_addr(3) == 0xB03
+    assert mhpmevent_addr(31) == 0x323 + 28
+    with pytest.raises(ValueError):
+        mhpmcounter_addr(2)
+    with pytest.raises(ValueError):
+        mhpmevent_addr(32)
+
+
+def test_reverse_map_consistent():
+    for name, addr in CSR_ADDRS.items():
+        assert CSR_NAMES[addr] == name or CSR_NAMES[addr] in CSR_ADDRS
+
+
+# ---------------------------------------------------------------------------
+# Program container
+# ---------------------------------------------------------------------------
+
+def simple_program() -> Program:
+    return assemble("""
+    _start:
+        addi a0, zero, 1
+        addi a0, a0, 2
+        jal zero, _start
+    """)
+
+
+def test_program_addresses_sequential():
+    program = simple_program()
+    addresses = [inst.addr for inst in program.instructions]
+    assert addresses == [program.text_base + 4 * i
+                         for i in range(len(program))]
+    assert program.text_end == program.text_base + 12
+    assert program.code_bytes == 12
+
+
+def test_instruction_lookup():
+    program = simple_program()
+    assert program.instruction_at(program.text_base + 4).imm == 2
+    assert program.has_instruction(program.text_base)
+    assert not program.has_instruction(program.text_base + 100)
+    with pytest.raises(KeyError):
+        program.instruction_at(0xDEAD)
+
+
+def test_index_and_resolve():
+    program = simple_program()
+    assert program.index_of(program.text_base + 8) == 2
+    assert program.resolve("_start") == program.text_base
+
+
+def test_instruction_rejects_unknown_mnemonic():
+    with pytest.raises(ValueError):
+        Instruction("vadd.vv")
+
+
+# ---------------------------------------------------------------------------
+# Table IV configs
+# ---------------------------------------------------------------------------
+
+def test_table4_widths():
+    widths = {c.name: (c.fetch_width, c.decode_width, c.issue_width)
+              for c in ALL_BOOM_CONFIGS}
+    assert widths["SmallBOOMV3"] == (4, 1, 3)
+    assert widths["MediumBOOMV3"] == (4, 2, 4)
+    assert widths["LargeBOOMV3"] == (8, 3, 5)
+    assert widths["MegaBOOMV3"] == (8, 4, 8)
+    assert widths["GigaBOOMV3"] == (8, 5, 9)
+
+
+def test_table4_backend_resources():
+    large = config_by_name("large-boom")
+    assert large.rob_entries == 96
+    assert (large.iq_int, large.iq_mem, large.iq_fp) == (16, 32, 24)
+    assert (large.ldq_entries, large.stq_entries, large.mshrs) \
+        == (24, 24, 4)
+
+
+def test_rocket_config():
+    assert ROCKET.fetch_width == 2
+    assert ROCKET.bht_entries == 512
+    assert ROCKET.btb_entries == 28
+    assert ROCKET.commit_width == 1
+
+
+def test_config_lookup_errors():
+    with pytest.raises(KeyError):
+        config_by_name("tera-boom")
+    assert config_by_name("LARGE-BOOM") is LARGE_BOOM
+    assert set(CONFIGS_BY_NAME) == {
+        "rocket", "small-boom", "medium-boom", "large-boom", "mega-boom",
+        "giga-boom"}
+
+
+def test_fetch_buffer_defaults_to_twice_fetch_width():
+    assert LARGE_BOOM.fetch_buffer_size == 2 * LARGE_BOOM.fetch_width

@@ -1,0 +1,61 @@
+"""Unit tests for register-name parsing."""
+
+import pytest
+
+from repro.isa.registers import (FP_ABI_NAMES, INT_ABI_NAMES, fp_reg_name,
+                                 int_reg_name, is_fp_reg, is_int_reg,
+                                 parse_fp_reg, parse_int_reg)
+
+
+def test_numeric_names_map_to_index():
+    for index in range(32):
+        assert parse_int_reg(f"x{index}") == index
+
+
+def test_abi_names_match_spec_order():
+    assert parse_int_reg("zero") == 0
+    assert parse_int_reg("ra") == 1
+    assert parse_int_reg("sp") == 2
+    assert parse_int_reg("a0") == 10
+    assert parse_int_reg("a7") == 17
+    assert parse_int_reg("t6") == 31
+
+
+def test_fp_alias_for_s0():
+    assert parse_int_reg("fp") == parse_int_reg("s0") == 8
+
+
+def test_case_and_whitespace_insensitive():
+    assert parse_int_reg("  T0 ") == 5
+
+
+def test_fp_registers():
+    assert parse_fp_reg("f0") == 0
+    assert parse_fp_reg("ft0") == 0
+    assert parse_fp_reg("fa0") == 10
+    assert parse_fp_reg("ft11") == 31
+
+
+def test_unknown_register_raises():
+    with pytest.raises(KeyError):
+        parse_int_reg("x32")
+    with pytest.raises(KeyError):
+        parse_fp_reg("g3")
+
+
+def test_predicates():
+    assert is_int_reg("s11")
+    assert not is_int_reg("fs1")
+    assert is_fp_reg("fs1")
+    assert not is_fp_reg("s1")
+
+
+def test_round_trip_names():
+    for index in range(32):
+        assert parse_int_reg(int_reg_name(index)) == index
+        assert parse_fp_reg(fp_reg_name(index)) == index
+
+
+def test_abi_tables_have_32_unique_names():
+    assert len(set(INT_ABI_NAMES)) == 32
+    assert len(set(FP_ABI_NAMES)) == 32

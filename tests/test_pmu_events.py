@@ -1,0 +1,99 @@
+"""Unit tests for the event registry (Table I) and selector encoding."""
+
+import pytest
+
+from repro.pmu import (BOOM_EVENTS, EventSet, ROCKET_EVENTS, decode_selector,
+                       encode_selector, events_for_core,
+                       new_events_for_core)
+from repro.pmu.events import TmaLevel
+
+
+def test_icicle_adds_three_rocket_events():
+    new = new_events_for_core("rocket")
+    assert sorted(e.name for e in new) == [
+        "fetch_bubbles", "instr_issued", "recovering"]
+
+
+def test_icicle_adds_seven_boom_events():
+    new = new_events_for_core("boom")
+    assert sorted(e.name for e in new) == [
+        "dcache_blocked", "fence_retired", "fetch_bubbles",
+        "icache_blocked", "recovering", "uops_issued", "uops_retired"]
+
+
+def test_new_events_live_in_the_tma_set():
+    for core in ("rocket", "boom"):
+        for event in new_events_for_core(core):
+            assert event.event_set == EventSet.TMA
+
+
+def test_boom_lower_level_events_marked():
+    assert BOOM_EVENTS["icache_blocked"].tma_level == TmaLevel.LOWER
+    assert BOOM_EVENTS["dcache_blocked"].tma_level == TmaLevel.LOWER
+    assert BOOM_EVENTS["uops_issued"].tma_level == TmaLevel.TOP
+
+
+def test_per_lane_flags():
+    assert BOOM_EVENTS["uops_issued"].per_lane
+    assert BOOM_EVENTS["fetch_bubbles"].per_lane
+    assert not BOOM_EVENTS["recovering"].per_lane
+    assert not ROCKET_EVENTS["fetch_bubbles"].per_lane  # single-issue
+
+
+def test_rocket_has_legacy_blocked_events_in_microarch_set():
+    # "Rocket already includes I$-blocked and D$-blocked counters"
+    assert ROCKET_EVENTS["icache_blocked"].event_set == EventSet.MICROARCH
+    assert not ROCKET_EVENTS["icache_blocked"].is_new
+    assert BOOM_EVENTS["icache_blocked"].is_new  # new on BOOM
+
+
+def test_bits_unique_within_each_set():
+    for registry in (ROCKET_EVENTS, BOOM_EVENTS):
+        seen = set()
+        for event in registry.values():
+            key = (event.event_set, event.bit)
+            assert key not in seen
+            seen.add(key)
+
+
+def test_selector_roundtrip_single_event():
+    selector = encode_selector(["fetch_bubbles"], "boom")
+    event_set, events = decode_selector(selector, "boom")
+    assert event_set == EventSet.TMA
+    assert [e.name for e in events] == ["fetch_bubbles"]
+
+
+def test_selector_roundtrip_multiple_events_same_set():
+    names = ["icache_miss", "dcache_miss", "dtlb_miss"]
+    selector = encode_selector(names, "rocket")
+    _, events = decode_selector(selector, "rocket")
+    assert sorted(e.name for e in events) == sorted(names)
+
+
+def test_selector_rejects_cross_set_mix():
+    """The §II-A hardware constraint: one event set per counter."""
+    with pytest.raises(ValueError):
+        encode_selector(["cycles", "icache_miss"], "rocket")
+
+
+def test_selector_rejects_unknown_event():
+    with pytest.raises(ValueError):
+        encode_selector(["nonsense"], "boom")
+    with pytest.raises(ValueError):
+        encode_selector([], "boom")
+
+
+def test_selector_low_byte_is_event_set_id():
+    selector = encode_selector(["recovering"], "boom")
+    assert selector & 0xFF == int(EventSet.TMA)
+    assert selector >> 8 != 0
+
+
+def test_events_for_core_rejects_unknown():
+    with pytest.raises(ValueError):
+        events_for_core("z80")
+
+
+def test_event_selector_property():
+    event = BOOM_EVENTS["uops_issued"]
+    assert event.selector == encode_selector(["uops_issued"], "boom")

@@ -1,0 +1,122 @@
+"""Unit + integration tests for the perf software harness (§IV-D)."""
+
+import pytest
+
+from repro.cores import LARGE_BOOM, ROCKET
+from repro.pmu import CsrFile, PerfHarness
+from repro.pmu.harness import NUM_PROGRAMMABLE
+
+
+def test_plan_one_counter_per_event():
+    harness = PerfHarness(core="boom")
+    passes = harness.plan(["fetch_bubbles", "recovering"])
+    assert len(passes) == 1
+    assert [names for _, names in passes[0].slots] == [
+        ["fetch_bubbles"], ["recovering"]]
+
+
+def test_plan_multiplexes_beyond_29_counters():
+    harness = PerfHarness(core="boom")
+    # 30 requests > 29 programmable counters -> two passes
+    events = ["cycles"] * 30
+    passes = harness.plan(events)
+    assert len(passes) == 2
+    assert len(passes[0].slots) == NUM_PROGRAMMABLE
+    assert len(passes[1].slots) == 1
+
+
+def test_plan_rejects_unknown_event():
+    with pytest.raises(ValueError):
+        PerfHarness(core="boom").plan(["not_an_event"])
+
+
+def test_setup_performs_four_steps():
+    harness = PerfHarness(core="boom")
+    assignment = harness.plan(["fetch_bubbles"])[0]
+    csr = CsrFile(core="boom")
+    harness.setup(csr, assignment)
+    assert csr.enabled                          # step 1
+    index = assignment.slots[0][0]
+    assert csr.counter_for(index).selector != 0  # steps 2+3
+    assert csr.mcountinhibit == 0               # step 4
+
+
+def test_boot_assembly_mentions_every_counter():
+    harness = PerfHarness(core="boom", mode="linux")
+    assignment = harness.plan(["fetch_bubbles", "uops_issued"])[0]
+    text = harness.boot_assembly(assignment)
+    assert "mhpmevent3" in text
+    assert "mhpmevent4" in text
+    assert "mcountinhibit" in text
+    assert "mcounteren" in text
+
+
+def test_boot_sequence_assembles_and_programs_csr_file():
+    """The linux path goes through the real assembler + executor."""
+    harness = PerfHarness(core="boom", mode="linux")
+    assignment = harness.plan(["fetch_bubbles"])[0]
+    csr = CsrFile(core="boom")
+    writes = harness.apply_boot_sequence(csr, assignment)
+    assert writes >= 3
+    index = assignment.slots[0][0]
+    assert csr.counter_for(index).events[0].name == "fetch_bubbles"
+    assert csr.mcountinhibit == 0
+
+
+def test_firemarshal_command_shape():
+    harness = PerfHarness(core="boom", increment_mode="distributed")
+    command = harness.firemarshal_command("coremark", ["recovering"])
+    assert "marshal-pmu build" in command
+    assert "--events recovering" in command
+    assert "--counter-arch distributed" in command
+    assert "coremark.json" in command
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        PerfHarness(mode="windows")
+
+
+def test_measure_end_to_end_boom():
+    harness = PerfHarness(core="boom", increment_mode="adders")
+    measurement = harness.measure(
+        "dhrystone", LARGE_BOOM,
+        event_names=["fetch_bubbles", "recovering", "uops_issued",
+                     "uops_retired"], scale=0.3)
+    assert measurement.passes == 1
+    assert measurement.cycles > 0
+    assert measurement.events["uops_retired"] > 0
+    assert measurement.events["uops_issued"] \
+        >= measurement.events["uops_retired"]
+    assert measurement.ipc > 0
+
+
+def test_measure_matches_core_event_totals():
+    """PMU-read values equal the core's own accumulation (adders)."""
+    harness = PerfHarness(core="boom", increment_mode="adders")
+    measurement = harness.measure(
+        "median", LARGE_BOOM,
+        event_names=["uops_retired", "fetch_bubbles"], scale=0.3)
+    result = measurement.result
+    assert measurement.events["uops_retired"] \
+        == result.event("uops_retired")
+    assert measurement.events["fetch_bubbles"] \
+        == result.event("fetch_bubbles")
+
+
+def test_measure_linux_mode_agrees_with_baremetal():
+    events = ["uops_retired", "recovering"]
+    bare = PerfHarness(core="boom", mode="baremetal").measure(
+        "median", LARGE_BOOM, event_names=events, scale=0.3)
+    linux = PerfHarness(core="boom", mode="linux").measure(
+        "median", LARGE_BOOM, event_names=events, scale=0.3)
+    assert bare.events == linux.events
+
+
+def test_measure_rocket():
+    harness = PerfHarness(core="rocket")
+    measurement = harness.measure(
+        "median", ROCKET,
+        event_names=["instr_retired", "fetch_bubbles", "recovering"],
+        scale=0.3)
+    assert measurement.events["instr_retired"] > 0

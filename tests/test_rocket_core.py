@@ -1,0 +1,234 @@
+"""Unit tests for the Rocket timing model."""
+
+from repro.cores import ROCKET, RocketCore
+from repro.cores.base import RocketConfig
+from repro.isa import assemble, execute
+from repro.trace import (CycleTracer, capture_trace,
+                         check_fetch_bubble_formula, rocket_tma_bundle)
+
+
+def run_rocket(source: str, config: RocketConfig = ROCKET):
+    program = assemble(source)
+    trace = execute(program)
+    return RocketCore(config).run(trace), trace
+
+
+# Looped so the I$ warms up: the assertion targets steady-state IPC.
+STRAIGHT_LINE = """
+_start:
+    li t0, 0
+    li s0, 0
+outer:
+""" + "\n".join("    addi t0, t0, 1" for _ in range(32)) + """
+    addi s0, s0, 1
+    li s1, 15
+    blt s0, s1, outer
+    mv a0, t0
+    li a7, 93
+    ecall
+"""
+
+
+def test_straight_line_near_one_ipc():
+    result, trace = run_rocket(STRAIGHT_LINE)
+    assert result.instret == len(trace)
+    # Single-issue in-order: IPC close to 1 once the I$ warms up.
+    assert result.ipc > 0.6
+
+
+def test_cycles_event_equals_cycles():
+    result, _ = run_rocket(STRAIGHT_LINE)
+    assert result.event("cycles") == result.cycles
+
+
+def test_issued_equals_retired_in_order():
+    """Rocket resolves branches in execute: no wrong-path issue."""
+    result, _ = run_rocket("""
+    _start:
+        li t0, 0
+        li t1, 50
+    loop:
+        addi t0, t0, 1
+        blt t0, t1, loop
+        li a7, 93
+        ecall
+    """)
+    assert result.event("instr_issued") == result.event("instr_retired")
+
+
+def test_load_use_interlock_detected():
+    result, _ = run_rocket("""
+    .data
+    v: .dword 3
+    .text
+    _start:
+""" + "\n".join("""
+        la t0, v
+        ld t1, 0(t0)
+        add t2, t1, t1
+""" for _ in range(20)) + """
+        li a7, 93
+        ecall
+    """)
+    assert result.event("load_use_interlock") > 10
+
+
+def test_mul_div_interlock_detected():
+    result, _ = run_rocket("""
+    _start:
+        li t0, 1000
+        li t1, 7
+""" + "\n".join("""
+        div t2, t0, t1
+        add t3, t2, t2
+""" for _ in range(10)) + """
+        li a7, 93
+        ecall
+    """)
+    assert result.event("muldiv_interlock") > 10
+
+
+def test_icache_miss_counted_on_cold_start():
+    result, _ = run_rocket(STRAIGHT_LINE)
+    assert result.event("icache_miss") >= 1
+    assert result.l1i_stats.misses >= 1
+
+
+def test_dcache_events_on_streaming_stores():
+    body = "\n".join(f"""
+        sd t0, {64 * i}(a0)
+    """ for i in range(32))
+    result, _ = run_rocket(f"""
+    .data
+    buf: .space {64 * 33}
+    .text
+    _start:
+        la a0, buf
+        li t0, 5
+    {body}
+        li a7, 93
+        ecall
+    """)
+    assert result.event("dcache_miss") >= 16
+    assert result.event("store") == 32
+
+
+def test_mispredicted_branches_trigger_recovery():
+    """A cold chain of taken branches thrashes the 28-entry BTB."""
+    units = "\n".join(f"""
+        beq zero, zero, skip_{i}
+        addi s1, s1, 1
+    skip_{i}:
+        addi s2, s2, 1
+    """ for i in range(64))
+    result, _ = run_rocket(f"""
+    _start:
+        li s3, 0
+    outer:
+    {units}
+        addi s3, s3, 1
+        li t6, 3
+        blt s3, t6, outer
+        li a7, 93
+        ecall
+    """)
+    assert result.event("cobr_mispredict") >= 150
+    assert result.event("recovering") > 100
+
+
+def test_class_events_sum_to_instret():
+    result, _ = run_rocket("""
+    .data
+    v: .dword 1
+    .text
+    _start:
+        la t0, v
+        ld t1, 0(t0)
+        sd t1, 0(t0)
+        add t2, t1, t1
+        beq zero, zero, next
+    next:
+        fence
+        li a7, 93
+        ecall
+    """)
+    class_sum = sum(result.event(name) for name in
+                    ("load", "store", "atomic", "branch", "fence",
+                     "system", "arith"))
+    assert class_sum == result.instret
+
+
+def test_fetch_bubble_formula_holds_on_trace():
+    """§III: FetchBubble == !Recovering & (!IBufValid & IBufReady)."""
+    program = assemble("""
+    _start:
+        li t0, 0
+        li t1, 200
+    loop:
+        addi t0, t0, 1
+        blt t0, t1, loop
+        li a7, 93
+        ecall
+    """)
+    trace = execute(program)
+    tracer = capture_trace(RocketCore(ROCKET), trace, rocket_tma_bundle())
+    signals = {f.name: tracer.signal(f.name) for f in tracer.bundle.fields}
+    mismatches = check_fetch_bubble_formula(signals)
+    assert mismatches <= max(2, len(tracer) // 1000)
+
+
+def test_smaller_l1d_is_slower_on_big_working_set():
+    from dataclasses import replace
+
+    from repro.uarch.cache import CacheConfig
+
+    source = """
+    .data
+    buf: .space 24576
+    .text
+    _start:
+        li s0, 4
+        li s1, 0
+    pass_loop:
+        la a0, buf
+        li t0, 0
+    touch:
+        li t1, 3072
+        bge t0, t1, touched
+        slli t2, t0, 3
+        add t2, a0, t2
+        ld t3, 0(t2)
+        add s1, s1, t3
+        addi t0, t0, 7
+        j touch
+    touched:
+        addi s0, s0, -1
+        bnez s0, pass_loop
+        li a7, 93
+        ecall
+    """
+    big, _ = run_rocket(source, ROCKET)
+    small_config = replace(
+        ROCKET, name="Rocket-16K",
+        l1d=CacheConfig("L1D", 16 * 1024, 8, 64, hit_latency=2))
+    small, _ = run_rocket(source, small_config)
+    assert small.cycles > big.cycles
+
+
+def test_fence_serializes():
+    result, _ = run_rocket("""
+    _start:
+        addi t0, t0, 1
+        fence
+        addi t0, t0, 1
+        li a7, 93
+        ecall
+    """)
+    assert result.event("fence") == 1
+
+
+def test_result_exposes_stats_objects():
+    result, _ = run_rocket(STRAIGHT_LINE)
+    assert result.l1i_stats.accesses > 0
+    assert result.commit_width == 1
+    assert result.config_name == "Rocket"

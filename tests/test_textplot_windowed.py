@@ -1,0 +1,107 @@
+"""Unit tests for text plotting and windowed temporal TMA."""
+
+import pytest
+
+from repro.tools.textplot import (hbar_chart, percent_axis, sparkline,
+                                  stacked_series)
+from repro.trace import windowed_tma
+
+
+# ---------------------------------------------------------------------------
+# textplot
+# ---------------------------------------------------------------------------
+
+def test_sparkline_scaling():
+    line = sparkline([0.0, 0.5, 1.0])
+    assert len(line) == 3
+    assert line[0] == " "
+    assert line[2] == "█"
+
+
+def test_sparkline_fixed_maximum():
+    relative = sparkline([1, 2], maximum=4)
+    assert relative[1] != "█"          # 2/4 is mid-scale
+    assert sparkline([5], maximum=4)[0] == "█"  # clamped
+
+
+def test_sparkline_empty_and_zero():
+    assert sparkline([]) == ""
+    assert sparkline([0, 0]) == "  "
+
+
+def test_hbar_chart_rows():
+    chart = hbar_chart({"a": 1.0, "b": 0.5}, width=10)
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+    assert "1.00" in lines[0]
+
+
+def test_hbar_chart_empty():
+    assert hbar_chart({}) == ""
+
+
+def test_stacked_series_alignment():
+    text = stacked_series({"x": [0.5, 1.0], "yy": [0.0, 0.25]})
+    lines = text.splitlines()
+    assert len(lines) == 2
+    # Labels padded to equal width: rows end at the same column.
+    assert len(lines[0]) == len(lines[1])
+    assert lines[0].startswith("x ")
+    assert lines[1].startswith("yy ")
+
+
+def test_percent_axis():
+    axis = percent_axis(21, step=10)
+    assert axis[0] == "|" and axis[10] == "|" and axis[20] == "|"
+    assert axis[1] == "-"
+
+
+# ---------------------------------------------------------------------------
+# windowed temporal TMA
+# ---------------------------------------------------------------------------
+
+def synthetic_signals(cycles: int):
+    # First half retires fully; second half is all recovering.
+    half = cycles // 2
+    return {
+        "uops_retired": [0b111] * half + [0] * (cycles - half),
+        "recovering": [0] * half + [1] * (cycles - half),
+        "fetch_bubbles": [0] * cycles,
+    }
+
+
+def test_windowed_tma_splits_phases():
+    signals = synthetic_signals(200)
+    profiles = windowed_tma(signals, commit_width=3, window=100)
+    assert len(profiles) == 2
+    assert profiles[0].fractions()["retiring"] == pytest.approx(1.0)
+    assert profiles[1].fractions()["bad_speculation"] == pytest.approx(1.0)
+
+
+def test_windowed_tma_tail_window():
+    profiles = windowed_tma(synthetic_signals(150), commit_width=3,
+                            window=100)
+    assert len(profiles) == 2
+    assert profiles[1].cycles == 50
+
+
+def test_windowed_tma_totals_match_whole_run():
+    from repro.trace import temporal_tma
+
+    signals = synthetic_signals(300)
+    whole = temporal_tma(signals, commit_width=3)
+    windows = windowed_tma(signals, commit_width=3, window=64)
+    assert sum(w.retiring_slots for w in windows) == whole.retiring_slots
+    assert sum(w.bad_spec_slots for w in windows) == whole.bad_spec_slots
+    assert sum(w.total_slots for w in windows) == whole.total_slots
+
+
+def test_windowed_tma_rejects_bad_window():
+    with pytest.raises(ValueError):
+        windowed_tma({}, commit_width=3, window=0)
+
+
+def test_windowed_tma_empty_signals():
+    assert windowed_tma({}, commit_width=3, window=10) == []

@@ -1,0 +1,150 @@
+"""Unit tests for the TMA models (Table II, Fig. 5)."""
+
+import pytest
+
+from repro.core import (BoomTmaModel, RocketTmaModel, TOP_LEVEL, TmaInputs,
+                        compute_tma)
+
+
+def boom_inputs(**events) -> TmaInputs:
+    base = {"cycles": 1000}
+    base.update(events)
+    return TmaInputs(core="boom", workload="w", config_name="LargeBOOMV3",
+                     cycles=base.pop("cycles"), commit_width=3,
+                     events=base)
+
+
+def test_retiring_is_retired_over_total_slots():
+    inputs = boom_inputs(uops_retired=1500, instr_retired=1500)
+    result = BoomTmaModel().compute(inputs)
+    assert result.level1["retiring"] == pytest.approx(1500 / 3000)
+
+
+def test_frontend_is_fetch_bubbles_over_slots():
+    inputs = boom_inputs(fetch_bubbles=600)
+    result = BoomTmaModel().compute(inputs)
+    assert result.level1["frontend"] == pytest.approx(0.2)
+
+
+def test_top_level_sums_to_one():
+    inputs = boom_inputs(uops_retired=900, uops_issued=1100,
+                         fetch_bubbles=300, recovering=50,
+                         br_mispredict=20, flush=2, fence_retired=1)
+    result = BoomTmaModel().compute(inputs)
+    assert result.top_level_sum() == pytest.approx(1.0)
+
+
+def test_bad_spec_formula_matches_table2():
+    """Hand-check BadSpec against the Table II expression."""
+    inputs = boom_inputs(uops_retired=900, uops_issued=1100,
+                         recovering=40, br_mispredict=10, flush=5,
+                         fence_retired=5)
+    result = BoomTmaModel(recover_length=4).compute(inputs)
+    m_tf = 5 + 10 + 5
+    m_nf_r = (10 + 5) / m_tf
+    expected = ((1100 - 900) * m_nf_r + (40 + 4 * 10) * 3) / 3000
+    assert result.level1["bad_speculation"] == pytest.approx(expected)
+
+
+def test_lower_level_badspec_split():
+    inputs = boom_inputs(uops_retired=900, uops_issued=1100,
+                         recovering=40, br_mispredict=10, flush=5,
+                         fence_retired=5)
+    result = BoomTmaModel().compute(inputs)
+    lost = 200
+    m_tf = 20
+    assert result.level2["machine_clears"] == pytest.approx(
+        lost * (5 / m_tf) / 3000)
+    assert result.level2["resteering"] == pytest.approx(
+        lost * (10 / m_tf) / 3000)
+    assert result.level2["recovery_bubbles"] == pytest.approx(40 / 3000)
+
+
+def test_cf_target_mispredicts_count_toward_bm():
+    a = BoomTmaModel().compute(boom_inputs(
+        uops_retired=900, uops_issued=1000, br_mispredict=10))
+    b = BoomTmaModel().compute(boom_inputs(
+        uops_retired=900, uops_issued=1000, br_mispredict=5,
+        cf_target_mispredict=5))
+    assert a.level1["bad_speculation"] == pytest.approx(
+        b.level1["bad_speculation"])
+
+
+def test_backend_split_mem_vs_core():
+    inputs = boom_inputs(uops_retired=600, dcache_blocked=900)
+    result = BoomTmaModel().compute(inputs)
+    assert result.level2["mem_bound"] == pytest.approx(0.3)
+    assert result.level2["core_bound"] == pytest.approx(
+        result.level1["backend"] - 0.3)
+
+
+def test_frontend_split_fetch_latency():
+    inputs = boom_inputs(fetch_bubbles=600, icache_blocked=100)
+    result = BoomTmaModel().compute(inputs)
+    assert result.level2["fetch_latency"] == pytest.approx(100 * 3 / 3000)
+    assert result.level2["pc_resolution"] == pytest.approx(
+        0.2 - 0.1)
+
+
+def test_no_flush_sources_means_zero_ratios():
+    inputs = boom_inputs(uops_retired=1000, uops_issued=1000)
+    result = BoomTmaModel().compute(inputs)
+    assert result.level1["bad_speculation"] == 0.0
+    assert result.metrics["m_tf"] == 0.0
+
+
+def test_zero_cycles_rejected():
+    inputs = TmaInputs(core="boom", workload="w", config_name="c",
+                       cycles=0, commit_width=3)
+    with pytest.raises(ValueError):
+        BoomTmaModel().compute(inputs)
+
+
+def test_rocket_model_uses_single_slot_per_cycle():
+    inputs = TmaInputs(core="rocket", workload="w", config_name="Rocket",
+                       cycles=1000, commit_width=1,
+                       events={"instr_retired": 700, "instr_issued": 700,
+                               "fetch_bubbles": 50, "recovering": 100,
+                               "dcache_blocked": 80,
+                               "icache_blocked": 20})
+    result = RocketTmaModel().compute(inputs)
+    assert result.level1["retiring"] == pytest.approx(0.7)
+    assert result.level1["bad_speculation"] == pytest.approx(0.1)
+    assert result.level1["frontend"] == pytest.approx(0.05)
+    assert result.level1["backend"] == pytest.approx(0.15)
+    assert result.level2["mem_bound"] == pytest.approx(0.08)
+    assert result.level2["fetch_latency"] == pytest.approx(0.02)
+    assert result.top_level_sum() == pytest.approx(1.0)
+
+
+def test_compute_tma_dispatch_on_core_field():
+    rocket = TmaInputs(core="rocket", workload="w", config_name="c",
+                       cycles=10, commit_width=1,
+                       events={"instr_retired": 5})
+    boom = TmaInputs(core="boom", workload="w", config_name="c",
+                     cycles=10, commit_width=3,
+                     events={"uops_retired": 5})
+    assert compute_tma(rocket).core == "rocket"
+    assert compute_tma(boom).core == "boom"
+
+
+def test_dominant_class():
+    inputs = boom_inputs(uops_retired=300, dcache_blocked=2400)
+    result = BoomTmaModel().compute(inputs)
+    assert result.dominant_class() == "backend"
+
+
+def test_ipc_property():
+    inputs = boom_inputs(uops_retired=1500, instr_retired=1500)
+    result = BoomTmaModel().compute(inputs)
+    assert result.ipc == pytest.approx(1.5)
+
+
+def test_metrics_exposed():
+    inputs = boom_inputs(uops_retired=900, uops_issued=1000,
+                         br_mispredict=8, flush=2)
+    result = BoomTmaModel().compute(inputs)
+    assert result.metrics["m_tf"] == 10
+    assert result.metrics["m_br_mr"] == pytest.approx(0.8)
+    assert result.metrics["m_fl_r"] == pytest.approx(0.2)
+    assert result.metrics["lost_uops"] == 100.0

@@ -1,0 +1,119 @@
+"""Unit tests for report rendering and the per-lane study helpers."""
+
+import pytest
+
+from repro.core import (TmaInputs, compute_tma, format_percent,
+                        frontend_error_of_lane_approx,
+                        frontend_point_error_of_lane_approx,
+                        per_lane_rates, render_bar, render_breakdown_table,
+                        render_comparison, render_result, render_table5,
+                        single_lane_approximation)
+from repro.cores.base import CoreResult
+from repro.uarch.branch import PredictorStats
+from repro.uarch.cache import CacheStats
+
+
+def fake_result(lane_events=None, events=None, cycles=1000,
+                commit_width=3) -> CoreResult:
+    return CoreResult(
+        workload="fake", config_name="LargeBOOMV3", core="boom",
+        cycles=cycles, instret=events.get("instr_retired", 0)
+        if events else 0,
+        events=events or {}, lane_events=lane_events or {},
+        commit_width=commit_width, issue_width=5,
+        l1i_stats=CacheStats(), l1d_stats=CacheStats(),
+        l2_stats=CacheStats(), predictor_stats=PredictorStats())
+
+
+def tma_result(**events):
+    base = {"cycles": 1000}
+    base.update(events)
+    inputs = TmaInputs(core="boom", workload="w", config_name="c",
+                       cycles=base.pop("cycles"), commit_width=3,
+                       events=base)
+    return compute_tma(inputs)
+
+
+def test_format_percent():
+    assert format_percent(0.5).strip() == "50.00%"
+
+
+def test_render_bar_proportions():
+    bar = render_bar({"retiring": 0.5, "bad_speculation": 0.25,
+                      "frontend": 0.25, "backend": 0.0}, width=20)
+    assert bar.count("R") == 10
+    assert bar.count("B") == 5
+    assert bar.count("F") == 5
+    assert bar.startswith("|") and bar.endswith("|")
+
+
+def test_render_result_contains_classes():
+    text = render_result(tma_result(uops_retired=1200, instr_retired=1200))
+    assert "Retiring" in text
+    assert "BadSpec" in text
+    assert "IPC" in text
+
+
+def test_render_breakdown_table_rows():
+    results = [tma_result(uops_retired=900, instr_retired=900),
+               tma_result(uops_retired=600, instr_retired=600)]
+    table = render_breakdown_table(results, title="Fig7")
+    lines = table.splitlines()
+    assert lines[0] == "Fig7"
+    assert len(lines) == 4  # title + header + 2 rows
+
+
+def test_render_comparison_includes_delta():
+    before = tma_result(uops_retired=600, instr_retired=600)
+    after = tma_result(uops_retired=900, instr_retired=900)
+    text = render_comparison(before, after, "before", "after")
+    assert "delta" in text
+    assert "+10.00%" in text
+
+
+def test_per_lane_rates_normalized_by_cycles():
+    result = fake_result(lane_events={"fetch_bubbles": [100, 200, 300]})
+    rates = per_lane_rates(result)
+    assert rates.rates["fetch_bubbles"] == [0.1, 0.2, 0.3]
+    assert rates.lane_rate("fetch_bubbles", 2) == 0.3
+    assert rates.lane_rate("fetch_bubbles", 9) == 0.0
+
+
+def test_per_lane_rates_pads_missing_lanes():
+    result = fake_result(lane_events={"uops_issued": [10]})
+    rates = per_lane_rates(result, lane_counts={"uops_issued": 5})
+    assert len(rates.rates["uops_issued"]) == 5
+
+
+def test_single_lane_approximation_math():
+    result = fake_result(
+        lane_events={"fetch_bubbles": [100, 200, 300]},
+        events={"fetch_bubbles": 600})
+    approx = single_lane_approximation(result, "fetch_bubbles", lane=0)
+    assert approx.exact_total == 600
+    assert approx.approx_total == 300.0   # 3 lanes x lane0
+    assert approx.relative_error == pytest.approx(-0.5)
+
+
+def test_frontend_error_functions():
+    result = fake_result(
+        lane_events={"fetch_bubbles": [150, 200, 250]},
+        events={"fetch_bubbles": 600})
+    relative = frontend_error_of_lane_approx(result)
+    assert relative == pytest.approx((450 - 600) / 600)
+    points = frontend_point_error_of_lane_approx(result)
+    assert points == pytest.approx((450 - 600) / 3000)
+
+
+def test_frontend_error_zero_when_no_bubbles():
+    result = fake_result(events={})
+    assert frontend_error_of_lane_approx(result) == 0.0
+
+
+def test_render_table5_layout():
+    rows = [per_lane_rates(fake_result(
+        lane_events={"fetch_bubbles": [10, 20, 30]}),
+        lane_counts={"fetch_bubbles": 3})]
+    text = render_table5(rows, {"fetch_bubbles": 3})
+    assert "fake" in text
+    assert len(text.splitlines()) == 2

@@ -1,0 +1,81 @@
+"""Unit tests for the result cache and the tma_tool pipeline."""
+
+import os
+
+import pytest
+
+from repro.cores import LARGE_BOOM, ROCKET
+from repro.tools import rocket_with_l1d, run_core, run_tma
+from repro.tools.cache import (cache_key, load, model_fingerprint, store)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    yield tmp_path
+
+
+def test_fingerprint_stable_within_process():
+    assert model_fingerprint() == model_fingerprint()
+    assert len(model_fingerprint()) == 16
+
+
+def test_cache_key_depends_on_inputs():
+    a = cache_key("vvadd", 0.3, ROCKET)
+    b = cache_key("vvadd", 0.4, ROCKET)
+    c = cache_key("median", 0.3, ROCKET)
+    d = cache_key("vvadd", 0.3, LARGE_BOOM)
+    assert len({a, b, c, d}) == 4
+
+
+def test_store_load_round_trip():
+    result = run_core("vvadd", ROCKET, scale=0.2, use_cache=False)
+    key = cache_key("vvadd", 0.2, ROCKET)
+    store(key, result)
+    loaded = load(key)
+    assert loaded is not None
+    assert loaded.cycles == result.cycles
+    assert loaded.events == result.events
+    assert loaded.lane_events == result.lane_events
+    assert loaded.l1d_stats.misses == result.l1d_stats.misses
+    assert loaded.ipc == pytest.approx(result.ipc)
+
+
+def test_load_missing_returns_none():
+    assert load("nonexistent-key") is None
+
+
+def test_corrupt_entry_treated_as_miss(isolated_cache):
+    key = cache_key("vvadd", 0.2, ROCKET)
+    path = isolated_cache / f"{key}.json"
+    path.write_text("{not json")
+    assert load(key) is None
+
+
+def test_run_core_uses_cache(isolated_cache):
+    first = run_core("median", ROCKET, scale=0.2)
+    assert (isolated_cache / f"{cache_key('median', 0.2, ROCKET)}.json"
+            ).exists()
+    second = run_core("median", ROCKET, scale=0.2)
+    assert second.cycles == first.cycles
+
+
+def test_run_core_determinism():
+    a = run_core("median", ROCKET, scale=0.2, use_cache=False)
+    b = run_core("median", ROCKET, scale=0.2, use_cache=False)
+    assert a.cycles == b.cycles
+    assert a.events == b.events
+
+
+def test_run_tma_end_to_end():
+    result = run_tma("vvadd", LARGE_BOOM, scale=0.2)
+    assert result.core == "boom"
+    assert result.top_level_sum() == pytest.approx(1.0)
+    assert 0 <= result.level1["retiring"] <= 1
+
+
+def test_rocket_with_l1d_builds_distinct_config():
+    small = rocket_with_l1d(16)
+    assert small.l1d.size_bytes == 16 * 1024
+    assert small.name != ROCKET.name
+    assert cache_key("vvadd", 0.2, small) != cache_key("vvadd", 0.2, ROCKET)

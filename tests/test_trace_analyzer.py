@@ -1,0 +1,147 @@
+"""Unit tests for the temporal-TMA analyzer (§IV-C, §V-B)."""
+
+import pytest
+
+from repro.trace import (analyze_overlap, check_fetch_bubble_formula,
+                         find_first, length_cdf, modal_length,
+                         recovery_sequences, render_raster, temporal_tma,
+                         validate_against_counters)
+from repro.trace.analyzer import _padded_activity
+
+
+def test_recovery_sequences_extraction():
+    recovering = [0, 1, 1, 1, 0, 0, 1, 1, 0, 1]
+    sequences = recovery_sequences(recovering)
+    assert [(s.start, s.length) for s in sequences] == [
+        (1, 3), (6, 2), (9, 1)]
+    assert sequences[0].end == 4
+
+
+def test_recovery_sequences_empty():
+    assert recovery_sequences([0, 0, 0]) == []
+    assert recovery_sequences([]) == []
+
+
+def test_length_cdf_monotone_and_complete():
+    points = length_cdf([4, 4, 4, 2, 9])
+    lengths = [p[0] for p in points]
+    fractions = [p[1] for p in points]
+    assert lengths == sorted(lengths)
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+    assert dict(points)[4] == pytest.approx(4 / 5)
+
+
+def test_modal_length_prefers_most_common():
+    assert modal_length([4, 4, 4, 30, 2]) == 4
+    assert modal_length([]) == 0
+
+
+def test_temporal_tma_classification_priorities():
+    signals = {
+        "uops_retired": [0b11, 0b000, 0b001, 0b111],
+        "recovering":   [0,    1,    0,    0],
+        "fetch_bubbles": [0b001, 0b111, 0b010, 0b000],
+    }
+    result = temporal_tma(signals, commit_width=3)
+    # cycle 0: 2 retire, 1 bubble; cycle 1: 3 badspec (recovering);
+    # cycle 2: 1 retire, 1 bubble, 1 backend; cycle 3: 3 retire.
+    assert result.retiring_slots == 6
+    assert result.bad_spec_slots == 3
+    assert result.frontend_slots == 2
+    assert result.backend_slots == 1
+    assert result.total_slots == 12
+    assert sum(result.fractions().values()) == pytest.approx(1.0)
+
+
+def test_validate_against_counters_deltas():
+    signals = {"uops_retired": [0b111] * 10, "recovering": [0] * 10,
+               "fetch_bubbles": [0] * 10}
+    temporal = temporal_tma(signals, commit_width=3)
+    deltas = validate_against_counters(
+        temporal, {"retiring": 0.9, "bad_speculation": 0.0,
+                   "frontend": 0.0, "backend": 0.1})
+    assert deltas["retiring"] == pytest.approx(0.1)
+    assert deltas["backend"] == pytest.approx(0.1)
+
+
+def test_padded_activity_window():
+    series = [0, 0, 0, 1, 0, 0, 0, 0]
+    active = _padded_activity(series, pad=2)
+    assert active == [False, True, True, True, True, True, False, False]
+
+
+def test_overlap_zero_when_windows_disjoint():
+    n = 300
+    signals = {
+        "icache_miss": [1 if c == 10 else 0 for c in range(n)],
+        "icache_blocked": [0] * n,
+        "recovering": [1 if 200 <= c < 204 else 0 for c in range(n)],
+        "fetch_bubbles": [0] * n,
+        "uops_retired": [0b111] * n,
+    }
+    report = analyze_overlap(signals, commit_width=3, window_pad=50)
+    assert report.overlap_slots == 0
+    assert report.overlap_fraction == 0.0
+
+
+def test_overlap_detects_adjacent_windows():
+    n = 200
+    signals = {
+        "icache_miss": [1 if c == 100 else 0 for c in range(n)],
+        "icache_blocked": [0] * n,
+        "recovering": [1 if 110 <= c < 114 else 0 for c in range(n)],
+        "fetch_bubbles": [0b001 if 105 <= c < 110 else 0
+                          for c in range(n)],
+        "uops_retired": [0] * n,
+    }
+    report = analyze_overlap(signals, commit_width=3, window_pad=50)
+    # 5 ambiguous bubble slots + 4 recovering cycles * W_C
+    assert report.overlap_slots == 5 + 12
+    assert report.overlap_fraction > 0
+    assert "Overlap" in report.render()
+
+
+def test_overlap_perturbation_math():
+    n = 100
+    signals = {
+        "icache_miss": [1] + [0] * (n - 1),
+        "icache_blocked": [0] * n,
+        "recovering": [0, 1, 1, 1] + [0] * (n - 4),
+        "fetch_bubbles": [0] * n,
+        # no retires while recovering, so Bad Speculation is non-zero
+        "uops_retired": [0, 0, 0, 0] + [0b111] * (n - 4),
+    }
+    report = analyze_overlap(signals, commit_width=3, window_pad=50)
+    assert report.bad_spec_perturbation == pytest.approx(
+        report.overlap_fraction / report.bad_spec_fraction)
+
+
+def test_fetch_bubble_formula_checker():
+    good = {
+        "fetch_bubbles": [1, 0, 0, 0],
+        "recovering":    [0, 1, 0, 0],
+        "ibuf_valid":    [0, 0, 1, 0],
+        "ibuf_ready":    [1, 1, 1, 0],
+    }
+    assert check_fetch_bubble_formula(good) == 0
+    bad = dict(good)
+    bad["fetch_bubbles"] = [0, 0, 0, 0]   # cycle 0 should be a bubble
+    assert check_fetch_bubble_formula(bad) == 1
+
+
+def test_render_raster_shape():
+    signals = {"x": [1, 0, 1, 0], "y": [0, 0, 1, 1]}
+    text = render_raster(signals, ["x", "y"], 0, 4)
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert "*.*." in lines[1]
+    assert "..**" in lines[2]
+
+
+def test_find_first():
+    signals = {"x": [0, 0, 5, 0, 1]}
+    assert find_first(signals, "x") == 2
+    assert find_first(signals, "x", after=3) == 4
+    assert find_first(signals, "x", after=5) is None
+    assert find_first(signals, "missing") is None

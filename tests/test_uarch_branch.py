@@ -1,0 +1,226 @@
+"""Unit tests for the branch-prediction substrates."""
+
+from repro.uarch.branch import (BHT, BTB, BoomBranchPredictor,
+                                ReturnAddressStack, RocketBranchPredictor,
+                                TagePredictor)
+
+
+def test_bht_counter_saturation():
+    bht = BHT(16, init=1)
+    pc = 0x80000000
+    assert not bht.predict(pc)       # weakly not-taken
+    bht.update(pc, True)
+    assert bht.predict(pc)           # crossed the threshold
+    for _ in range(5):
+        bht.update(pc, True)
+    bht.update(pc, False)
+    assert bht.predict(pc)           # saturated taken survives one NT
+
+
+def test_bht_aliasing_by_index():
+    bht = BHT(4)
+    bht.update(0x0, True)
+    bht.update(0x0, True)
+    # pc 16 bytes later -> different index; pc 4*4*4 later -> aliases
+    assert bht.predict(0x0)
+    assert not bht.predict(0x4)
+
+
+def test_btb_lru_replacement():
+    btb = BTB(2)
+    btb.insert(0x100, 0x200)
+    btb.insert(0x104, 0x300)
+    btb.lookup(0x100)            # refresh
+    btb.insert(0x108, 0x400)     # evicts 0x104
+    assert btb.lookup(0x100) == 0x200
+    assert btb.lookup(0x104) is None
+
+
+def test_ras_push_pop_order():
+    ras = ReturnAddressStack(depth=4)
+    ras.push(0x10)
+    ras.push(0x20)
+    assert ras.pop() == 0x20
+    assert ras.pop() == 0x10
+    assert ras.pop() is None
+
+
+def test_ras_depth_overflow_drops_oldest():
+    ras = ReturnAddressStack(depth=2)
+    ras.push(1)
+    ras.push(2)
+    ras.push(3)
+    assert ras.pop() == 3
+    assert ras.pop() == 2
+    assert ras.pop() is None
+
+
+def test_rocket_btb_miss_predicts_not_taken():
+    """The CS2 mechanism: a cold BTB forces fall-through prediction."""
+    predictor = RocketBranchPredictor(btb_entries=4)
+    prediction = predictor.predict_branch(0x1000)
+    assert not prediction.taken and not prediction.btb_hit
+
+
+def test_rocket_learns_taken_loop_branch():
+    predictor = RocketBranchPredictor()
+    pc, target = 0x1000, 0x800
+    for _ in range(4):
+        prediction = predictor.predict_branch(pc)
+        predictor.resolve_branch(pc, True, target, prediction)
+    prediction = predictor.predict_branch(pc)
+    assert prediction.taken and prediction.target == target
+
+
+def test_rocket_btb_thrash_never_learns_long_chain():
+    """256 taken branches through a 28-entry BTB stay mispredicted."""
+    predictor = RocketBranchPredictor(btb_entries=28)
+    pcs = [0x1000 + 12 * i for i in range(256)]
+    mispredicts = 0
+    for _ in range(3):
+        for pc in pcs:
+            prediction = predictor.predict_branch(pc)
+            if predictor.resolve_branch(pc, True, pc + 8, prediction):
+                mispredicts += 1
+    assert mispredicts == 3 * 256
+
+
+def test_rocket_indirect_uses_ras_for_returns():
+    predictor = RocketBranchPredictor()
+    predictor.ras.push(0xCAFE)
+    assert predictor.predict_indirect(0x1000, is_return=True) == 0xCAFE
+
+
+def test_tage_bimodal_initializes_weakly_taken():
+    """The BOOM-side CS2 mechanism: cold prediction is taken."""
+    tage = TagePredictor(bimodal_init=2)
+    taken, provider = tage.predict(0x1234)
+    assert taken and provider == "bimodal"
+
+
+def test_tage_learns_alternating_pattern():
+    """A period-2 pattern defeats bimodal but not tagged history."""
+    tage = TagePredictor()
+    pc = 0x4000
+    outcome = True
+    mispredicts_late = 0
+    for i in range(400):
+        predicted, provider = tage.predict(pc)
+        if i >= 300 and predicted != outcome:
+            mispredicts_late += 1
+        tage.update(pc, outcome, provider, predicted)
+        outcome = not outcome
+    assert mispredicts_late <= 10
+
+
+def test_boom_predictor_decode_resteer_counted():
+    predictor = BoomBranchPredictor()
+    predictor.predict_branch(0x2000)  # predicted taken, BTB cold
+    assert predictor.decode_resteers == 1
+
+
+def test_boom_indirect_return_prediction():
+    predictor = BoomBranchPredictor()
+    predictor.ras.push(0x8888)
+    assert predictor.predict_indirect(0x100, is_return=True) == 0x8888
+    # non-return falls back to the BTB
+    predictor.btb.insert(0x200, 0x9999)
+    assert predictor.predict_indirect(0x200) == 0x9999
+
+
+def test_boom_first_pass_not_taken_chain_mispredicts_once():
+    """brmiss_inv on BOOM: one mispredict per branch, then learned."""
+    predictor = BoomBranchPredictor()
+    pcs = [0x1000 + 12 * i for i in range(64)]
+    first_pass = 0
+    later_pass = 0
+    for pass_index in range(4):
+        for pc in pcs:
+            prediction = predictor.predict_branch(pc)
+            mispredicted = predictor.resolve_branch(pc, False, pc + 8,
+                                                    prediction)
+            if mispredicted:
+                if pass_index == 0:
+                    first_pass += 1
+                else:
+                    later_pass += 1
+    assert first_pass == len(pcs)        # weakly-taken init mispredicts
+    assert later_pass <= len(pcs) // 8   # learned afterwards
+
+
+def test_predictor_stats_accuracy():
+    predictor = RocketBranchPredictor()
+    pc = 0x100
+    for _ in range(10):
+        prediction = predictor.predict_branch(pc)
+        predictor.resolve_branch(pc, True, 0x80, prediction)
+    stats = predictor.stats
+    assert stats.lookups == 10
+    assert 0.0 <= stats.accuracy <= 1.0
+    assert stats.mispredicts == stats.direction_mispredicts \
+        + stats.target_mispredicts
+
+
+def test_gshare_uses_global_history():
+    from repro.uarch.branch import GsharePredictor
+
+    gshare = GsharePredictor(entries=256, history_bits=8, init=2)
+    pc = 0x1000
+    # Train a history-dependent pattern: outcome equals the previous
+    # outcome's complement (period 2) — gshare separates the contexts.
+    outcome = True
+    mispredicts_late = 0
+    for i in range(400):
+        predicted, provider = gshare.predict(pc)
+        assert provider == "gshare"
+        if i >= 300 and predicted != outcome:
+            mispredicts_late += 1
+        gshare.update(pc, outcome, provider, predicted)
+        outcome = not outcome
+    assert mispredicts_late <= 5
+
+
+def test_gshare_rejects_bad_geometry():
+    import pytest
+
+    from repro.uarch.branch import GsharePredictor
+
+    with pytest.raises(ValueError):
+        GsharePredictor(entries=300)
+
+
+def test_bimodal_predictor_wraps_bht():
+    from repro.uarch.branch import BimodalPredictor
+
+    bimodal = BimodalPredictor(entries=64, init=2)
+    taken, provider = bimodal.predict(0x40)
+    assert taken and provider == "bimodal"
+    for _ in range(3):
+        bimodal.update(0x40, False, provider, taken)
+    assert not bimodal.predict(0x40)[0]
+
+
+def test_direction_predictor_factory():
+    import pytest
+
+    from repro.uarch.branch import (BimodalPredictor, GsharePredictor,
+                                    TagePredictor,
+                                    make_direction_predictor)
+
+    assert isinstance(make_direction_predictor("tage"), TagePredictor)
+    assert isinstance(make_direction_predictor("gshare"),
+                      GsharePredictor)
+    assert isinstance(make_direction_predictor("bimodal"),
+                      BimodalPredictor)
+    with pytest.raises(ValueError):
+        make_direction_predictor("perceptron")
+
+
+def test_boom_predictor_accepts_direction_kinds():
+    from repro.uarch.branch import BoomBranchPredictor
+
+    for kind in ("tage", "gshare", "bimodal"):
+        predictor = BoomBranchPredictor(direction=kind)
+        prediction = predictor.predict_branch(0x2000)
+        predictor.resolve_branch(0x2000, True, 0x3000, prediction)
+        assert predictor.stats.lookups == 1

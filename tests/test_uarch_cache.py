@@ -1,0 +1,155 @@
+"""Unit tests for caches, MSHRs, and the memory hierarchy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.cache import (Cache, CacheConfig, DRAM_LATENCY, L1D_16K,
+                               L1D_32K, MemorySystem, MSHRFile,
+                               NonBlockingCache)
+
+
+def small_cache(ways: int = 2, sets: int = 4,
+                next_latency: int = 10) -> Cache:
+    config = CacheConfig("t", ways * sets * 64, ways, 64, hit_latency=1)
+    return Cache(config, next_latency=next_latency)
+
+
+def test_geometry():
+    assert L1D_32K.num_sets == 64
+    assert L1D_16K.num_sets == 32
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        CacheConfig("bad", 64, 8, 64).num_sets
+
+
+def test_cold_miss_then_hit():
+    cache = small_cache()
+    hit, latency = cache.access(0x1000)
+    assert not hit and latency > 1
+    hit, latency = cache.access(0x1000)
+    assert hit and latency == 1
+
+
+def test_same_block_hits():
+    cache = small_cache()
+    cache.access(0x1000)
+    hit, _ = cache.access(0x103F)  # same 64B block
+    assert hit
+
+
+def test_lru_eviction():
+    cache = small_cache(ways=2, sets=1)
+    cache.access(0x0)
+    cache.access(0x40)
+    cache.access(0x0)      # touch 0x0 -> 0x40 becomes LRU
+    cache.access(0x80)     # evicts 0x40
+    assert cache.lookup(0x0)
+    assert not cache.lookup(0x40)
+
+
+def test_dirty_writeback_counted():
+    cache = small_cache(ways=1, sets=1)
+    cache.access(0x0, is_store=True)
+    cache.access(0x40)     # evicts dirty block
+    assert cache.stats.writebacks == 1
+
+
+def test_flush_invalidates():
+    cache = small_cache()
+    cache.access(0x1000)
+    cache.flush()
+    assert not cache.lookup(0x1000)
+
+
+def test_hierarchy_miss_latency_includes_next_level():
+    memory = MemorySystem.build()
+    l1d = memory.blocking_l1d()
+    _, cold = l1d.access(0x5000, cycle=0)
+    assert cold >= memory.l2.config.hit_latency + DRAM_LATENCY
+    # L1 evict -> L2 hit path must be cheaper than DRAM
+    memory2 = MemorySystem.build()
+    l1 = memory2.blocking_l1d()
+    l1.access(0x0, cycle=0)
+    # Evict by filling the set (8 ways, 64 sets -> stride 64*64)
+    for way in range(1, 9):
+        l1.access(way * 64 * 64, cycle=0)
+    assert not l1.lookup(0x0)
+    _, l2_hit = l1.access(0x0, cycle=0)
+    assert l2_hit < DRAM_LATENCY
+
+
+def test_dram_bus_gap_spaces_refills():
+    memory = MemorySystem.build(dram_block_gap=16)
+    nb = memory.nonblocking_l1d(mshrs=8)
+    ready = [nb.access(i * 4096, cycle=0)[1] for i in range(4)]
+    # All issued at cycle 0, but DRAM returns them 16 cycles apart.
+    deltas = [b - a for a, b in zip(ready, ready[1:])]
+    assert all(d >= 16 for d in deltas)
+
+
+def test_mshr_merge_secondary_miss():
+    memory = MemorySystem.build()
+    nb = memory.nonblocking_l1d(mshrs=2)
+    hit1, ready1, primary1 = nb.access_ex(0x9000, cycle=0)
+    hit2, ready2, primary2 = nb.access_ex(0x9008, cycle=1)
+    assert not hit1 and primary1
+    assert not hit2 and not primary2      # merged into the same MSHR
+    assert ready2 == ready1
+
+
+def test_mshr_file_capacity_and_reap():
+    mshrs = MSHRFile(2)
+    assert mshrs.allocate(1, ready_cycle=50, cycle=0) is not None
+    assert mshrs.allocate(2, ready_cycle=60, cycle=0) is not None
+    assert mshrs.allocate(3, ready_cycle=70, cycle=0) is None
+    assert mshrs.is_full(10)
+    assert not mshrs.is_full(55)          # first refill done, reaped
+    assert mshrs.allocate(3, ready_cycle=90, cycle=55) is not None
+
+
+def test_mshr_busy_and_refill_in_flight():
+    mshrs = MSHRFile(4)
+    mshrs.allocate(1, ready_cycle=20, cycle=0)
+    assert mshrs.busy(10) == 1
+    assert mshrs.refill_in_flight(10)
+    assert not mshrs.refill_in_flight(25)
+
+
+def test_nonblocking_hit_path():
+    memory = MemorySystem.build()
+    nb = memory.nonblocking_l1d(mshrs=2)
+    nb.access(0xA000, cycle=0)
+    hit, ready, primary = nb.access_ex(0xA000, cycle=200)
+    assert hit and not primary
+    assert ready == 200 + nb.cache.config.hit_latency
+
+
+def test_block_address_alignment():
+    cache = small_cache()
+    assert cache.block_address(0x1234) == 0x1200
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                max_size=60))
+def test_most_recent_block_always_resident(block_ids):
+    """LRU invariant: the last accessed block is always present."""
+    cache = small_cache(ways=2, sets=4)
+    for block in block_ids:
+        cache.access(block * 64)
+        assert cache.lookup(block * 64)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                max_size=80))
+def test_hits_plus_misses_equals_accesses(block_ids):
+    cache = small_cache(ways=4, sets=2)
+    for block in block_ids:
+        cache.access(block * 64)
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses
+    assert 0.0 <= stats.miss_rate <= 1.0

@@ -1,0 +1,149 @@
+"""Unit tests for the physical-design overhead model (§V-C)."""
+
+import pytest
+
+from repro.cores import (ALL_BOOM_CONFIGS, GIGA_BOOM, LARGE_BOOM,
+                         MEDIUM_BOOM, MEGA_BOOM, SMALL_BOOM)
+from repro.vlsi import (ARCHITECTURES, CLOCK_PERIOD_NS, PhysicalFlow,
+                        event_source_groups, floorplan, paper_calibration,
+                        single_lane_wire_reduction, structure_for, sweep,
+                        tile_area, tile_modules)
+from repro.vlsi.flow import (PAPER_AREA_CEILING, PAPER_POWER_CEILING,
+                             PAPER_WIRELENGTH_CEILING)
+
+
+def test_tile_area_grows_with_size():
+    areas = [tile_area(config) for config in ALL_BOOM_CONFIGS]
+    assert areas == sorted(areas)
+
+
+def test_tile_modules_cover_event_sources():
+    names = {m.name for m in tile_modules(LARGE_BOOM)}
+    for group in event_source_groups(LARGE_BOOM):
+        assert group.module in names
+    assert "csr" in names
+
+
+def test_floorplan_tiles_the_die_exactly():
+    plan = floorplan(LARGE_BOOM)
+    placed = sum(p.width * p.height for p in plan.placements.values())
+    assert placed == pytest.approx(plan.die_area)
+    for placement in plan.placements.values():
+        assert 0 <= placement.x <= plan.die_width
+        assert 0 <= placement.y <= plan.die_height
+
+
+def test_csr_file_placed_near_die_center():
+    plan = floorplan(LARGE_BOOM)
+    x, y = plan.center_of("csr")
+    assert abs(x - plan.die_width / 2) < plan.die_width * 0.35
+    assert abs(y - plan.die_height / 2) < plan.die_height * 0.35
+
+
+def test_event_group_lane_counts_follow_config():
+    groups = {g.event: g.lanes for g in event_source_groups(LARGE_BOOM)}
+    assert groups["fetch_bubbles"] == LARGE_BOOM.decode_width
+    assert groups["uops_issued_fp"] == LARGE_BOOM.issue_fp
+    assert groups["icache_blocked"] == 1
+
+
+def test_baseline_structure_is_empty():
+    structure = structure_for(LARGE_BOOM, "baseline")
+    assert structure.flop_bits == 0
+    assert structure.wire_mm == 0.0
+    assert structure.csr_extra_delay_ns == 0.0
+
+
+def test_scalar_uses_most_counter_flops():
+    scalar = structure_for(LARGE_BOOM, "scalar")
+    adders = structure_for(LARGE_BOOM, "adders")
+    distributed = structure_for(LARGE_BOOM, "distributed")
+    assert scalar.flop_bits > adders.flop_bits
+    assert scalar.flop_bits > distributed.flop_bits
+
+
+def test_adders_route_fewest_wire_mm():
+    scalar = structure_for(LARGE_BOOM, "scalar")
+    adders = structure_for(LARGE_BOOM, "adders")
+    assert adders.wire_mm < scalar.wire_mm
+
+
+def test_unknown_architecture_rejected():
+    with pytest.raises(ValueError):
+        structure_for(LARGE_BOOM, "quantum")
+
+
+def test_all_configs_pass_200mhz():
+    """§V-C: every size × architecture closes timing at 200 MHz."""
+    for per_arch in sweep().values():
+        for result in per_arch.values():
+            assert result.passes_200mhz
+            assert result.longest_csr_path_ns < CLOCK_PERIOD_NS
+
+
+def test_overhead_ceilings_match_paper():
+    grid = sweep()
+    power = max(r.power_overhead for a in grid.values() for r in a.values())
+    area = max(r.area_overhead for a in grid.values() for r in a.values())
+    wires = max(r.wirelength_overhead for a in grid.values()
+                for r in a.values())
+    assert power == pytest.approx(PAPER_POWER_CEILING, rel=1e-6)
+    assert area <= PAPER_AREA_CEILING + 1e-9
+    assert wires <= PAPER_WIRELENGTH_CEILING + 1e-9
+
+
+def test_overheads_grow_with_core_size():
+    grid = sweep()
+    scalar_power = [grid[c.name]["scalar"].power_overhead
+                    for c in ALL_BOOM_CONFIGS]
+    assert scalar_power == sorted(scalar_power)
+
+
+def test_fig9b_adders_distributed_crossover():
+    """Adders <= distributed at small/medium; distributed wins at the
+    mega/giga end (the Fig. 9b scalability story)."""
+    grid = sweep()
+
+    def normalized(config, arch):
+        per = grid[config.name]
+        return per[arch].normalized_csr_path(per["baseline"])
+
+    for config in (SMALL_BOOM, MEDIUM_BOOM):
+        assert normalized(config, "adders") \
+            <= normalized(config, "distributed") + 1e-9
+    for config in (MEGA_BOOM, GIGA_BOOM):
+        assert normalized(config, "distributed") \
+            < normalized(config, "adders")
+
+
+def test_adders_delay_grows_with_width():
+    small = structure_for(SMALL_BOOM, "adders").csr_extra_delay_ns
+    giga = structure_for(GIGA_BOOM, "adders").csr_extra_delay_ns
+    assert giga > small
+
+
+def test_distributed_delay_nearly_flat_across_sizes():
+    small = structure_for(SMALL_BOOM, "distributed").csr_extra_delay_ns
+    giga = structure_for(GIGA_BOOM, "distributed").csr_extra_delay_ns
+    assert giga - small < 0.1
+
+
+def test_calibration_factors_positive():
+    calibration = paper_calibration()
+    for value in calibration.values():
+        assert value > 0
+
+
+def test_single_lane_wire_reduction_positive():
+    """§V-A: dropping to one monitored fetch lane shortens the longest
+    fetch-bubble PMU wire (paper: 11.39%)."""
+    reduction = single_lane_wire_reduction(MEGA_BOOM)
+    assert 0.03 < reduction < 0.35
+
+
+def test_monitored_lanes_reduce_structure():
+    full = structure_for(LARGE_BOOM, "scalar")
+    reduced = structure_for(LARGE_BOOM, "scalar",
+                            monitored_lanes={"fetch_bubbles": 1})
+    assert reduced.flop_bits < full.flop_bits
+    assert reduced.wire_mm < full.wire_mm
