@@ -1,7 +1,8 @@
 """Core timing models and Table IV configurations."""
 
-from .base import (BoomConfig, CoreResult, EventAccumulator, RocketConfig,
-                   SignalObserver)
+from .base import (BoomConfig, CoreFaultHook, CoreResult, EventAccumulator,
+                   RocketConfig, SignalObserver, check_cycle_budget,
+                   check_run_completed)
 from .boom import BoomCore
 from .configs import (ALL_BOOM_CONFIGS, CONFIGS_BY_NAME, GIGA_BOOM,
                       LARGE_BOOM, MEDIUM_BOOM, MEGA_BOOM, ROCKET,
@@ -13,6 +14,7 @@ __all__ = [
     "BoomConfig",
     "BoomCore",
     "CONFIGS_BY_NAME",
+    "CoreFaultHook",
     "CoreResult",
     "EventAccumulator",
     "GIGA_BOOM",
@@ -24,5 +26,7 @@ __all__ = [
     "RocketCore",
     "SMALL_BOOM",
     "SignalObserver",
+    "check_cycle_budget",
+    "check_run_completed",
     "config_by_name",
 ]

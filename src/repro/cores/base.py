@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Protocol
 
+from ..isa.errors import RunTimeout
 from ..uarch.branch import PredictorStats
 from ..uarch.cache import CacheConfig, CacheStats, L1D_32K
 
@@ -29,6 +30,52 @@ class SignalObserver(Protocol):
     def on_cycle(self, cycle: int, signals: Mapping[str, int]) -> None:
         """Observe the lane bitmasks of every event for one cycle."""
         ...  # pragma: no cover - protocol
+
+
+class CoreFaultHook(Protocol):
+    """Injection point the fault injector uses to stall a core.
+
+    A core consults the hook at the top of every simulated cycle; a
+    ``True`` return means the whole pipeline is frozen that cycle (a
+    hung memory system / clock-gated core), so the cycle passes with no
+    fetch, issue, or commit and no signals.  Combined with the
+    ``max_cycles`` watchdog this models — and detects — runaway runs.
+    """
+
+    def stall_cycle(self, cycle: int) -> bool:
+        ...  # pragma: no cover - protocol
+
+
+def check_cycle_budget(cycle: int, max_cycles: Optional[int], *,
+                       workload: str, retired: int, total: int) -> None:
+    """Watchdog guard for core run loops.
+
+    Raises :class:`~repro.isa.errors.RunTimeout` once *cycle* reaches
+    the optional *max_cycles* budget.  Cores call this every cycle when
+    a budget is armed (the resilient runner sets one; default off).
+    """
+    if max_cycles is not None and cycle >= max_cycles:
+        raise RunTimeout(
+            f"run exceeded its cycle budget with "
+            f"{retired}/{total} instructions retired",
+            invariant="cycle-budget", workload=workload,
+            observed=cycle, expected=max_cycles)
+
+
+def check_run_completed(retired: int, total: int, cycle: int,
+                        max_cycles: Optional[int], *,
+                        workload: str) -> None:
+    """Post-loop watchdog: a budgeted run must retire the whole trace.
+
+    Covers the case where the core's internal safety stop fires before
+    the armed ``max_cycles`` budget — still a hang, still a timeout.
+    """
+    if max_cycles is not None and retired < total:
+        raise RunTimeout(
+            f"run stopped after {cycle} cycles with only "
+            f"{retired}/{total} instructions retired",
+            invariant="run-completion", workload=workload,
+            observed=retired, expected=total)
 
 
 @dataclass(frozen=True)

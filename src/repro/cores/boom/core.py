@@ -29,7 +29,8 @@ from ...uarch.branch import BoomBranchPredictor, Prediction
 from ...uarch.cache import MemorySystem, NonBlockingCache
 from ...uarch.prefetch import StridePrefetcher
 from ...uarch.tlb import TlbHierarchy
-from ..base import BoomConfig, CoreResult, EventAccumulator, SignalObserver
+from ..base import (BoomConfig, CoreFaultHook, CoreResult, EventAccumulator,
+                    SignalObserver, check_cycle_budget, check_run_completed)
 from ..configs import LARGE_BOOM
 
 _SAFETY_CYCLES_PER_INST = 600
@@ -127,6 +128,7 @@ class BoomCore:
         self.dprefetcher = (StridePrefetcher()
                             if config.dcache_prefetch else None)
         self.observers: List[SignalObserver] = list(observers)
+        self.fault_hook: Optional[CoreFaultHook] = None
         self.machine_clears = 0
         #: PCs of loads that previously caused an ordering violation; the
         #: (modelled) store-set predictor makes them wait thereafter.
@@ -138,8 +140,14 @@ class BoomCore:
 
     # ------------------------------------------------------------------
 
-    def run(self, trace: DynamicTrace) -> CoreResult:
-        """Replay *trace* and return per-event totals."""
+    def run(self, trace: DynamicTrace,
+            max_cycles: Optional[int] = None) -> CoreResult:
+        """Replay *trace* and return per-event totals.
+
+        *max_cycles* arms a watchdog (default off): exceeding the budget
+        raises :class:`~repro.isa.errors.RunTimeout` instead of spinning
+        until the internal safety stop silently truncates the run.
+        """
         config = self.config
         w_c = config.decode_width
         issue_ports = (config.issue_int, config.issue_mem, config.issue_fp)
@@ -168,7 +176,6 @@ class BoomCore:
         seq = 0
         retired = 0
         cycle = 0
-        max_cycles = total * _SAFETY_CYCLES_PER_INST + 20_000
 
         fetch_resume_at = 0
         l1i_refill_until = 0
@@ -176,7 +183,17 @@ class BoomCore:
         recovering_from = 0       # first cycle the window is visible
         wrong_path = False        # a mispredicted CF is in flight
 
-        while retired < total and cycle < max_cycles:
+        safety_limit = total * _SAFETY_CYCLES_PER_INST + 20_000
+        fault_hook = self.fault_hook
+
+        while retired < total and cycle < safety_limit:
+            check_cycle_budget(cycle, max_cycles,
+                               workload=trace.program_name,
+                               retired=retired, total=total)
+            if fault_hook is not None and fault_hook.stall_cycle(cycle):
+                # Injected stall: the whole core freezes this cycle.
+                cycle += 1
+                continue
             signals: Dict[str, int] = {"cycles": 1}
 
             # ---------------- commit ----------------------------------
@@ -325,6 +342,13 @@ class BoomCore:
                     fetch_buffer.popleft()
                     uop.issued = True
                     uop.completed_cycle = cycle + 1
+                    # The serialized uop bypasses the issue queues but
+                    # still occupies an issue slot this cycle (the ROB
+                    # is empty, so lane 0 is necessarily free); without
+                    # this the paper's BadSpec pair Uops-issued minus
+                    # Uops-retired undercounts by one per fence/CSR.
+                    signals["uops_issued"] = signals.get(
+                        "uops_issued", 0) | 1
                     rob.append(uop)
                     serialized_uop = uop
                     backend_blocked = True
@@ -377,6 +401,8 @@ class BoomCore:
                 observer.on_cycle(cycle, signals)
             cycle += 1
 
+        check_run_completed(retired, total, cycle, max_cycles,
+                            workload=trace.program_name)
         return CoreResult(
             workload=trace.program_name, config_name=config.name,
             core="boom", cycles=cycle, instret=retired,

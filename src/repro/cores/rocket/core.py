@@ -27,7 +27,9 @@ from ...isa.instructions import InstrClass
 from ...uarch.branch import Prediction, RocketBranchPredictor
 from ...uarch.cache import Cache, MemorySystem
 from ...uarch.tlb import TlbHierarchy
-from ..base import CoreResult, EventAccumulator, RocketConfig, SignalObserver
+from ..base import (CoreFaultHook, CoreResult, EventAccumulator,
+                    RocketConfig, SignalObserver, check_cycle_budget,
+                    check_run_completed)
 
 _SAFETY_CYCLES_PER_INST = 400
 
@@ -58,14 +60,21 @@ class RocketCore:
         self.predictor = RocketBranchPredictor(
             bht_entries=config.bht_entries, btb_entries=config.btb_entries)
         self.observers: List[SignalObserver] = list(observers)
+        self.fault_hook: Optional[CoreFaultHook] = None
 
     def add_observer(self, observer: SignalObserver) -> None:
         self.observers.append(observer)
 
     # ------------------------------------------------------------------
 
-    def run(self, trace: DynamicTrace) -> CoreResult:
-        """Replay *trace* and return per-event totals."""
+    def run(self, trace: DynamicTrace,
+            max_cycles: Optional[int] = None) -> CoreResult:
+        """Replay *trace* and return per-event totals.
+
+        *max_cycles* arms a watchdog (default off): exceeding the budget
+        raises :class:`~repro.isa.errors.RunTimeout` instead of spinning
+        until the internal safety stop silently truncates the run.
+        """
         config = self.config
         accumulator = EventAccumulator()
         observers = self.observers
@@ -78,7 +87,8 @@ class RocketCore:
         fetch_idx = 0
         retired = 0
         cycle = 0
-        max_cycles = total * _SAFETY_CYCLES_PER_INST + 10_000
+        safety_limit = total * _SAFETY_CYCLES_PER_INST + 10_000
+        fault_hook = self.fault_hook
 
         # Scoreboard: unified reg id -> (ready_cycle, producer_kind)
         reg_ready = [0] * 64
@@ -93,7 +103,14 @@ class RocketCore:
         serialize_until = 0       # CSR/fence pipeline drain
         pending_wakeup_load = -1  # reg id the execute stage is waiting on
 
-        while retired < total and cycle < max_cycles:
+        while retired < total and cycle < safety_limit:
+            check_cycle_budget(cycle, max_cycles,
+                               workload=trace.program_name,
+                               retired=retired, total=total)
+            if fault_hook is not None and fault_hook.stall_cycle(cycle):
+                # Injected stall: the whole core freezes this cycle.
+                cycle += 1
+                continue
             signals: Dict[str, int] = {"cycles": 1}
 
             # ---------------- execute / retire ------------------------
@@ -201,6 +218,8 @@ class RocketCore:
                 observer.on_cycle(cycle, signals)
             cycle += 1
 
+        check_run_completed(retired, total, cycle, max_cycles,
+                            workload=trace.program_name)
         return CoreResult(
             workload=trace.program_name, config_name=self.config.name,
             core="rocket", cycles=cycle, instret=retired,

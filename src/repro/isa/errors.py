@@ -1,6 +1,16 @@
-"""Exception types raised by the ISA layer."""
+"""Exception types raised by the ISA layer.
+
+This module also hosts the bottom of the reliability-error taxonomy
+(:class:`ReliabilityError` and the subclasses raised below the
+:mod:`repro.reliability` package).  They live here because this module
+is an import leaf: the core models and the result cache need to raise
+``RunTimeout``/``CacheIntegrityError`` without importing the
+reliability package (which itself imports the cores and the PMU).
+"""
 
 from __future__ import annotations
+
+from typing import Any, Optional
 
 
 class IsaError(Exception):
@@ -23,3 +33,43 @@ class ExecutionError(IsaError):
 
 class MemoryError_(IsaError):
     """Raised on invalid memory accesses (misalignment, bad address)."""
+
+
+class ReliabilityError(Exception):
+    """Base class of the reliability-violation taxonomy.
+
+    Every violation carries a structured payload so tooling (the
+    resilient runner, the fault-injection campaign report) can classify
+    failures without parsing message strings:
+
+    - ``invariant``: short name of the violated invariant or guard,
+    - ``workload`` / ``config``: the run the violation occurred in,
+    - ``observed`` / ``expected``: the offending values, when known.
+    """
+
+    def __init__(self, message: str, *, invariant: Optional[str] = None,
+                 workload: Optional[str] = None,
+                 config: Optional[str] = None,
+                 observed: Any = None, expected: Any = None) -> None:
+        self.invariant = invariant
+        self.workload = workload
+        self.config = config
+        self.observed = observed
+        self.expected = expected
+        parts = [message]
+        if invariant:
+            parts.append(f"[invariant={invariant}]")
+        if workload:
+            parts.append(f"[workload={workload}"
+                         + (f" config={config}]" if config else "]"))
+        if observed is not None or expected is not None:
+            parts.append(f"(observed={observed!r}, expected={expected!r})")
+        super().__init__(" ".join(parts))
+
+
+class RunTimeout(ReliabilityError):
+    """A core run exceeded its cycle budget (hung or truncated trace)."""
+
+
+class CacheIntegrityError(ReliabilityError):
+    """A disk-cache entry failed checksum or schema validation."""

@@ -117,13 +117,20 @@ class CsrFile:
     """The machine-mode counter CSRs plus inhibit/selector state."""
 
     def __init__(self, core: str = "boom",
-                 increment_mode: str = "adders") -> None:
+                 increment_mode: str = "adders",
+                 fault_injector=None) -> None:
         if increment_mode not in INCREMENT_MODES:
             raise ValueError(
                 f"unknown increment mode {increment_mode!r}; "
                 f"choose from {INCREMENT_MODES}")
         self.core = core
         self.increment_mode = increment_mode
+        #: Optional :class:`repro.reliability.faults.FaultInjector`-style
+        #: hook.  ``on_signals`` may perturb the per-cycle lane masks
+        #: before they reach the counters (dropped increments);
+        #: ``on_counter_read`` may perturb values at read time
+        #: (bit-flips).  ``None`` (the default) is the healthy PMU.
+        self.fault_injector = fault_injector
         self.mcycle = 0
         self.minstret = 0
         # All counters start inhibited; step (4) of the harness clears
@@ -179,6 +186,8 @@ class CsrFile:
     # ------------------------------------------------------------------
 
     def on_cycle(self, cycle: int, signals: Mapping[str, int]) -> None:
+        if self.fault_injector is not None:
+            signals = self.fault_injector.on_signals(cycle, signals)
         if not self.inhibited(_CYCLE_BIT):
             self.mcycle += 1
         if not self.inhibited(_INSTRET_BIT) \
@@ -194,6 +203,13 @@ class CsrFile:
 
     def counter_for(self, index: int) -> _ProgrammableCounter:
         return self.counters[index]
+
+    def corrected_value_for(self, index: int) -> int:
+        """Post-processed read of one counter, through the fault hook."""
+        value = self.counters[index].corrected_value()
+        if self.fault_injector is not None:
+            value = self.fault_injector.on_counter_read(index, value)
+        return value
 
     def corrected_values(self) -> Dict[int, int]:
         """Post-processed values of all programmed counters."""

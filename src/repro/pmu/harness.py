@@ -32,7 +32,7 @@ from ..isa import assemble, execute
 from ..isa.csrs import (FIRST_HPM_INDEX, LAST_HPM_INDEX, MCOUNTINHIBIT,
                         mhpmcounter_addr, mhpmevent_addr)
 from ..workloads import build_trace
-from .csr import CsrFile
+from .csr import CsrFile, INCREMENT_MODES
 from .events import encode_selector, events_for_core
 
 NUM_PROGRAMMABLE = LAST_HPM_INDEX - FIRST_HPM_INDEX + 1
@@ -70,6 +70,10 @@ class Measurement:
     instret: int
     passes: int
     result: Optional[CoreResult] = None
+    #: Counter architecture the values were read through; ``adders`` is
+    #: an exact popcount, so readings must equal the core's own totals
+    #: (the invariant checker relies on this).
+    increment_mode: str = "adders"
 
     @property
     def ipc(self) -> float:
@@ -80,12 +84,20 @@ class PerfHarness:
     """Programs counters, runs workloads, reads TMA event values back."""
 
     def __init__(self, core: str = "boom", increment_mode: str = "adders",
-                 mode: str = "baremetal") -> None:
+                 mode: str = "baremetal", fault_injector=None) -> None:
         if mode not in ("baremetal", "linux"):
             raise ValueError(f"unknown mode {mode!r}")
+        if increment_mode not in INCREMENT_MODES:
+            raise ValueError(
+                f"unknown increment mode {increment_mode!r}; "
+                f"choose from {INCREMENT_MODES}")
         self.core = core
         self.increment_mode = increment_mode
         self.mode = mode
+        #: Optional :class:`repro.reliability.faults.FaultInjector`.
+        #: When set, every run is perturbed through the injector's
+        #: hooks (trace truncation, core stalls, counter corruption).
+        self.fault_injector = fault_injector
 
     # ------------------------------------------------------------------
     # planning
@@ -184,40 +196,55 @@ class PerfHarness:
 
     def measure(self, workload: str, config: CoreConfig,
                 event_names: Optional[Sequence[str]] = None,
-                scale: float = 1.0) -> Measurement:
+                scale: float = 1.0,
+                max_cycles: Optional[int] = None) -> Measurement:
         """Run *workload* on *config*, returning read-back event values.
 
         The deterministic simulator makes multiplexed passes exact: each
         pass replays the identical trace with a different counter set.
+
+        *max_cycles* arms the per-pass watchdog of the core models (see
+        :meth:`~repro.cores.boom.BoomCore.run`); the resilient runner
+        sets it so a hung run raises instead of spinning.
         """
         if event_names is None:
             event_names = sorted(events_for_core(self.core))
+        if not event_names:
+            raise ValueError(
+                "measure() needs at least one event name; an empty list "
+                "would silently return zero passes and stale counters")
         passes = self.plan(event_names)
         trace = build_trace(workload, scale=scale)
+        injector = self.fault_injector
+        if injector is not None:
+            trace = injector.perturb_trace(trace)
         values: Dict[str, int] = {}
         cycles = 0
         instret = 0
         last_result: Optional[CoreResult] = None
         for assignment in passes:
             core_model = make_core(config)
+            core_model.fault_hook = injector
             csr = CsrFile(core=self.core,
-                          increment_mode=self.increment_mode)
+                          increment_mode=self.increment_mode,
+                          fault_injector=injector)
             if self.mode == "linux":
                 self.apply_boot_sequence(csr, assignment)
             else:
                 self.setup(csr, assignment)
             core_model.add_observer(csr)
-            result = core_model.run(trace)
+            result = core_model.run(trace, max_cycles=max_cycles)
             csr.drain()
             for index, names in assignment.slots:
-                values[names[0]] = csr.counter_for(index).corrected_value()
+                values[names[0]] = csr.corrected_value_for(index)
             cycles = csr.mcycle
             instret = csr.minstret
             last_result = result
         return Measurement(
             workload=workload, config_name=config.name, core=self.core,
             events=values, cycles=cycles, instret=instret,
-            passes=len(passes), result=last_result)
+            passes=len(passes), result=last_result,
+            increment_mode=self.increment_mode)
 
     def measure_grouped(self, workload: str, config: CoreConfig,
                         groups: Sequence[Sequence[str]],
@@ -244,5 +271,5 @@ class PerfHarness:
         core_model.add_observer(csr)
         core_model.run(trace)
         csr.drain()
-        return {"+".join(names): csr.counter_for(index).corrected_value()
+        return {"+".join(names): csr.corrected_value_for(index)
                 for index, names in assignment.slots}

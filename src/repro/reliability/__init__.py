@@ -1,0 +1,56 @@
+"""Reliability layer: fault injection, invariant checking, resilience.
+
+The subsystem that proves the rest of the pipeline trustworthy:
+
+- :mod:`repro.reliability.faults` — a deterministic, seed-driven fault
+  model (dropped counter increments, counter bit-flips, truncated
+  traces, corrupted cache entries, stalled cores) injected through
+  small hooks in the CSR file, the cores, and the result cache.
+- :mod:`repro.reliability.invariants` — the TMA invariant catalog
+  (slot conservation, PMU-vs-core agreement, multiplex agreement,
+  scale monotonicity) raising a structured error taxonomy.
+- :mod:`repro.reliability.runner` — a resilient (workload x config)
+  batch runner with watchdogs, bounded retry, cache quarantine, and
+  partial-result reporting.
+- :mod:`repro.reliability.campaign` — the end-to-end fault-injection
+  campaign: inject faults, demand the checker catches 100% of them.
+"""
+
+from .campaign import (CAMPAIGN_EVENTS, CampaignReport, FaultTrial,
+                       run_campaign)
+from .errors import (CacheIntegrityError, CounterCorruption,
+                     ReliabilityError, RunTimeout,
+                     SlotConservationViolation)
+from .faults import (BITFLIP_COUNTER, CORRUPT_CACHE, DROP_INCREMENTS,
+                     FAULT_CLASSES, FaultInjector, FaultPlan, FaultSpec,
+                     STALL_CORE, TRUNCATE_TRACE)
+from .invariants import EXACT_INCREMENT_MODES, TmaInvariantChecker
+from .runner import (DEFAULT_MAX_CYCLES, ResilientRunner, RunOutcome,
+                     SweepReport)
+
+__all__ = [
+    "BITFLIP_COUNTER",
+    "CAMPAIGN_EVENTS",
+    "CORRUPT_CACHE",
+    "CacheIntegrityError",
+    "CampaignReport",
+    "CounterCorruption",
+    "DEFAULT_MAX_CYCLES",
+    "DROP_INCREMENTS",
+    "EXACT_INCREMENT_MODES",
+    "FAULT_CLASSES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultTrial",
+    "ReliabilityError",
+    "ResilientRunner",
+    "RunOutcome",
+    "RunTimeout",
+    "STALL_CORE",
+    "SlotConservationViolation",
+    "SweepReport",
+    "TRUNCATE_TRACE",
+    "TmaInvariantChecker",
+    "run_campaign",
+]

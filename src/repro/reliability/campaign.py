@@ -1,0 +1,222 @@
+"""The fault-injection campaign: the CounterPoint-style refutation loop.
+
+Injects a deterministic, seed-driven set of faults into otherwise
+identical runs and reports which ones the invariant checker caught.
+A campaign has three phases:
+
+1. **Clean control** — a fault-free measurement of the same grid must
+   report zero violations (multiplex agreement, scale monotonicity, and
+   every single-run invariant included).  A checker that cries wolf is
+   as useless as one that misses corruption.
+2. **Injection trials** — one run per :class:`FaultSpec`; the fault is
+   *caught* when a :class:`ReliabilityError` of the right family is
+   raised, either by the checker or by the guarded layers themselves
+   (watchdog timeout, cache checksum).
+3. **Quarantine proof** — the ``corrupt-cache`` trials additionally
+   demonstrate the resilient runner completing its sweep by
+   quarantining the poisoned entry and re-running, instead of aborting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from ..cores.base import BoomConfig, RocketConfig
+from ..pmu.harness import Measurement, PerfHarness
+from ..tools import cache
+from .errors import ReliabilityError
+from .faults import CORRUPT_CACHE, FaultInjector, FaultPlan, FaultSpec
+from .invariants import TmaInvariantChecker
+from .runner import ResilientRunner
+
+CoreConfig = Union[RocketConfig, BoomConfig]
+
+#: High-frequency events per core: every one fires often enough that a
+#: dropped-increment fault is guaranteed to actually perturb the run,
+#: and the list is exactly the set of counters the bitflip fault may
+#: target (counters 3 .. 3+len-1).
+CAMPAIGN_EVENTS = {
+    "boom": ("cycles", "uops_issued", "uops_retired", "fetch_bubbles",
+             "recovering"),
+    "rocket": ("cycles", "instr_issued", "instr_retired", "fetch_bubbles",
+               "recovering"),
+}
+
+
+@dataclass
+class FaultTrial:
+    """One injected fault and whether the reliability layer caught it."""
+
+    spec: FaultSpec
+    caught: bool
+    injections: int
+    error_class: Optional[str] = None
+    detail: str = ""
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign observed, renderable for the CLI."""
+
+    workload: str
+    config_name: str
+    seed: int
+    scale: float
+    clean_ok: bool = True
+    clean_detail: str = ""
+    trials: List[FaultTrial] = field(default_factory=list)
+
+    @property
+    def caught(self) -> int:
+        return sum(1 for trial in self.trials if trial.caught)
+
+    @property
+    def fault_classes(self) -> List[str]:
+        return sorted({trial.spec.kind for trial in self.trials})
+
+    @property
+    def passed(self) -> bool:
+        return self.clean_ok and self.caught == len(self.trials)
+
+    def render(self) -> str:
+        lines = [
+            f"fault-injection campaign: {self.workload} on "
+            f"{self.config_name} (seed {self.seed}, "
+            f"{len(self.trials)} faults, "
+            f"{len(self.fault_classes)} classes)",
+            "clean control: " + ("PASS (zero violations)" if self.clean_ok
+                                 else f"FAIL ({self.clean_detail})"),
+        ]
+        for trial in self.trials:
+            verdict = "CAUGHT" if trial.caught else "MISSED"
+            via = f" -> {trial.error_class}" if trial.error_class else ""
+            lines.append(f"  {verdict}  {trial.spec.describe()}{via}")
+            if trial.detail:
+                lines.append(f"          {trial.detail}")
+        lines.append(f"detected {self.caught}/{len(self.trials)} "
+                     f"injected faults")
+        lines.append("campaign " + ("PASSED" if self.passed else "FAILED"))
+        return "\n".join(lines)
+
+
+def _run_clean_control(harness: PerfHarness,
+                       checker: TmaInvariantChecker,
+                       workload: str, config: CoreConfig,
+                       events: Sequence[str], scale: float,
+                       max_cycles: Optional[int]) -> Measurement:
+    """Full clean-phase audit; returns the reference measurement."""
+    # Multiplexed vs single-pass agreement (returns the combined run).
+    reference = checker.check_multiplex_agreement(
+        harness, workload, config, events, scale=scale,
+        max_cycles=max_cycles)
+    checker.check_measurement(reference)
+    # Event monotonicity across scales.
+    smaller = harness.measure(workload, config, event_names=list(events),
+                              scale=scale * 0.6, max_cycles=max_cycles)
+    checker.check_measurement(smaller)
+    checker.check_monotonic([smaller, reference])
+    # The resilient runner's own clean sweep must complete cleanly too.
+    runner = ResilientRunner(harness=harness, checker=checker,
+                             event_names=events, scale=scale,
+                             max_cycles=max_cycles)
+    sweep = runner.run_grid([workload], [config])
+    if sweep.failed or sweep.quarantined_keys:
+        raise ReliabilityError(
+            "clean sweep reported failures",
+            invariant="clean-control", workload=workload,
+            config=config.name, observed=sweep.summary())
+    return reference
+
+
+def _run_cache_trial(spec: FaultSpec, checker: TmaInvariantChecker,
+                     reference: Measurement, workload: str,
+                     config: CoreConfig, events: Sequence[str],
+                     scale: float,
+                     max_cycles: Optional[int]) -> FaultTrial:
+    """Poison the pair's cache entry, then prove quarantine + recovery."""
+    injector = FaultInjector(spec)
+    key = cache.cache_key(workload, scale, config)
+    if reference.result is not None:
+        cache.store(key, reference.result)
+    injector.corrupt_cache_file(cache.entry_path(key))
+    harness = PerfHarness(core=config.core)
+    runner = ResilientRunner(harness=harness, checker=checker,
+                             event_names=events, scale=scale,
+                             max_cycles=max_cycles)
+    sweep = runner.run_grid([workload], [config])
+    outcome = sweep.outcomes[0]
+    caught = outcome.quarantined
+    detail = (f"entry quarantined, sweep completed "
+              f"{len(sweep.completed)}/{len(sweep.outcomes)} pairs"
+              if caught and outcome.ok else
+              f"quarantined={outcome.quarantined} status={outcome.status}")
+    return FaultTrial(spec=spec, caught=caught,
+                      injections=injector.injections,
+                      error_class=outcome.error_class, detail=detail)
+
+
+def _run_injection_trial(spec: FaultSpec, checker: TmaInvariantChecker,
+                         reference: Measurement, workload: str,
+                         config: CoreConfig, events: Sequence[str],
+                         scale: float,
+                         max_cycles: Optional[int]) -> FaultTrial:
+    """One perturbed run; the checker must refute it."""
+    injector = FaultInjector(spec)
+    harness = PerfHarness(core=config.core, fault_injector=injector)
+    try:
+        measurement = harness.measure(workload, config,
+                                      event_names=list(events),
+                                      scale=scale, max_cycles=max_cycles)
+        checker.check_measurement(measurement)
+        checker.check_matches_reference(measurement, reference)
+    except ReliabilityError as exc:
+        return FaultTrial(spec=spec, caught=True,
+                          injections=injector.injections,
+                          error_class=type(exc).__name__,
+                          detail=str(exc))
+    detail = ("fault never fired (vacuous trial)"
+              if injector.injections == 0 else "fault escaped detection")
+    return FaultTrial(spec=spec, caught=False,
+                      injections=injector.injections, detail=detail)
+
+
+def run_campaign(seed: int = 0, faults: int = 5,
+                 workload: str = "median",
+                 config: Optional[CoreConfig] = None,
+                 scale: float = 0.3,
+                 max_cycles: Optional[int] = 200_000) -> CampaignReport:
+    """Run the end-to-end fault-injection campaign.
+
+    With ``faults >= 5`` every fault class is injected at least once
+    (the plan covers classes round-robin).  Returns a report whose
+    ``passed`` property is the acceptance gate: clean control with zero
+    violations AND 100% of injected faults detected.
+    """
+    if config is None:
+        from ..cores.configs import LARGE_BOOM
+        config = LARGE_BOOM
+    events = CAMPAIGN_EVENTS[config.core]
+    harness = PerfHarness(core=config.core)
+    checker = TmaInvariantChecker()
+    report = CampaignReport(workload=workload, config_name=config.name,
+                            seed=seed, scale=scale)
+    try:
+        reference = _run_clean_control(harness, checker, workload, config,
+                                       events, scale, max_cycles)
+    except ReliabilityError as exc:
+        report.clean_ok = False
+        report.clean_detail = str(exc)
+        return report
+    plan = FaultPlan(seed=seed, count=faults,
+                     counter_event_names=events)
+    for spec in plan.specs():
+        if spec.kind == CORRUPT_CACHE:
+            trial = _run_cache_trial(spec, checker, reference, workload,
+                                     config, events, scale, max_cycles)
+        else:
+            trial = _run_injection_trial(spec, checker, reference,
+                                         workload, config, events, scale,
+                                         max_cycles)
+        report.trials.append(trial)
+    return report

@@ -1,0 +1,44 @@
+"""The reliability-violation taxonomy.
+
+The base class and the two subclasses raised *below* this package
+(:class:`RunTimeout` by the core run loops, :class:`CacheIntegrityError`
+by the result cache) live in :mod:`repro.isa.errors` — an import leaf —
+so the cores and tools can raise them without importing this package.
+This module completes the taxonomy with the violations the invariant
+checker itself detects, and re-exports the whole family so callers can
+``from repro.reliability import ReliabilityError`` and catch everything.
+"""
+
+from __future__ import annotations
+
+from ..isa.errors import CacheIntegrityError, ReliabilityError, RunTimeout
+
+__all__ = [
+    "CacheIntegrityError",
+    "CounterCorruption",
+    "ReliabilityError",
+    "RunTimeout",
+    "SlotConservationViolation",
+]
+
+
+class CounterCorruption(ReliabilityError):
+    """A counter reading disagrees with trusted ground truth.
+
+    Raised when a PMU-read value diverges from the core model's own
+    accumulation, from a reference run of the same deterministic trace,
+    from a single-pass measurement of the same events, or from the
+    monotonicity expected across workload scales — the CounterPoint-style
+    refutation: the counters themselves expose the broken assumption.
+    """
+
+
+class SlotConservationViolation(ReliabilityError):
+    """TMA slot accounting failed a conservation law.
+
+    The four top-level classes must partition the ``width x cycles``
+    slot budget; per-event totals must respect their structural bounds
+    (issued >= retired, per-cycle events <= cycles, per-slot events <=
+    width x cycles).  A violation means the measurement cannot be a
+    truthful accounting of any real run.
+    """

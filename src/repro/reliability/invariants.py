@@ -1,0 +1,259 @@
+"""TMA invariant checking: proving the counters are trustworthy.
+
+The paper validates Icicle's PMU against TracerV traces; CounterPoint
+uses event counters to refute broken microarchitectural assumptions.
+:class:`TmaInvariantChecker` is this reproduction's equivalent: a
+catalog of conservation laws every healthy measurement must satisfy,
+raising the structured :mod:`repro.reliability.errors` taxonomy when
+one fails.
+
+Invariant catalog
+-----------------
+
+``pmu-vs-core``        PMU-read values equal the core model's own
+                       accumulation (exact for the ``adders``
+                       architecture — it is a popcount).
+``cycles-agree``       ``mcycle``/``minstret`` equal the core result's
+                       cycle/retire totals.
+``slot-conservation``  The four top-level TMA classes each stay within
+                       ``[0, 1]`` (tolerance-padded); they partition the
+                       ``W_C x cycles`` slot budget by construction, so
+                       an inflated counter surfaces as a negative or
+                       >1 sibling class.
+``issued-ge-retired``  Issued uops/instructions >= retired.
+``event-bounds``       No event total exceeds ``max(W_C, W_I) x cycles``.
+``reference-divergence``  A rerun of a deterministic trace must
+                       reproduce the reference exactly.
+``scale-monotonicity`` Cycles and retired instructions are
+                       non-decreasing in workload scale.
+``multiplex-agreement``  Multiplexed-pass totals equal single-pass
+                       totals on deterministic traces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.tma import compute_tma
+from ..cores.base import CoreResult
+from ..pmu.harness import Measurement, PerfHarness
+from .errors import (CounterCorruption, ReliabilityError,
+                     SlotConservationViolation)
+
+#: Counter architectures whose readings are exact popcounts, so the
+#: PMU-vs-core cross-check may demand equality.
+EXACT_INCREMENT_MODES = ("adders",)
+
+
+class TmaInvariantChecker:
+    """Validates measurements and core results against the catalog.
+
+    ``slot_tolerance`` pads the TMA fraction bounds: the Table II
+    formulas mix slot and cycle units, so healthy runs can sit a few
+    hundredths outside the ideal ``[0, 1]`` interval.
+    """
+
+    def __init__(self, slot_tolerance: float = 0.05) -> None:
+        self.slot_tolerance = slot_tolerance
+
+    # ------------------------------------------------------------------
+    # single-run invariants
+    # ------------------------------------------------------------------
+
+    def violations(self, measurement: Measurement
+                   ) -> List[ReliabilityError]:
+        """All violations of the single-run invariants (empty = clean)."""
+        found: List[ReliabilityError] = []
+        found.extend(self._cross_check(measurement))
+        found.extend(self._structural_bounds(measurement))
+        found.extend(self._slot_conservation(measurement))
+        return found
+
+    def check_measurement(self, measurement: Measurement) -> None:
+        """Raise the first single-run violation, if any."""
+        for violation in self.violations(measurement):
+            raise violation
+
+    def check_core_result(self, result: CoreResult) -> None:
+        """Slot-conservation audit of a bare core run (no PMU)."""
+        measurement = Measurement(
+            workload=result.workload, config_name=result.config_name,
+            core=result.core, events=dict(result.events),
+            cycles=result.cycles, instret=result.instret, passes=0,
+            result=result)
+        for violation in self._slot_conservation(measurement):
+            raise violation
+        for violation in self._structural_bounds(measurement):
+            raise violation
+
+    def _cross_check(self, m: Measurement) -> List[ReliabilityError]:
+        """PMU readings vs the core model's own accumulation."""
+        found: List[ReliabilityError] = []
+        result = m.result
+        if result is None:
+            return found
+        if m.cycles != result.cycles:
+            found.append(CounterCorruption(
+                "mcycle disagrees with the core's cycle count",
+                invariant="cycles-agree", workload=m.workload,
+                config=m.config_name, observed=m.cycles,
+                expected=result.cycles))
+        if m.instret != result.instret:
+            found.append(CounterCorruption(
+                "minstret disagrees with the core's retire count",
+                invariant="cycles-agree", workload=m.workload,
+                config=m.config_name, observed=m.instret,
+                expected=result.instret))
+        if m.increment_mode in EXACT_INCREMENT_MODES:
+            for name, value in m.events.items():
+                expected = result.event(name)
+                if value != expected:
+                    found.append(CounterCorruption(
+                        f"counter {name!r} disagrees with the core's "
+                        f"own accumulation",
+                        invariant="pmu-vs-core", workload=m.workload,
+                        config=m.config_name, observed=value,
+                        expected=expected))
+        return found
+
+    def _structural_bounds(self, m: Measurement) -> List[ReliabilityError]:
+        """Width-scaled upper bounds no real run can exceed."""
+        found: List[ReliabilityError] = []
+        if m.cycles < 0 or m.instret < 0:
+            found.append(CounterCorruption(
+                "negative cycle or retire count",
+                invariant="event-bounds", workload=m.workload,
+                config=m.config_name,
+                observed=(m.cycles, m.instret), expected=">= 0"))
+            return found
+        result = m.result
+        commit_width = result.commit_width if result is not None else 1
+        issue_width = result.issue_width if result is not None else 1
+        width_cap = max(commit_width, issue_width, 1)
+        budget = width_cap * m.cycles
+        for name, value in m.events.items():
+            if value < 0 or value > budget:
+                found.append(SlotConservationViolation(
+                    f"event {name!r} exceeds the width x cycles budget",
+                    invariant="event-bounds", workload=m.workload,
+                    config=m.config_name, observed=value,
+                    expected=f"0 <= value <= {budget}"))
+        issued = m.events.get("uops_issued", m.events.get("instr_issued"))
+        retired = m.events.get("uops_retired",
+                               m.events.get("instr_retired"))
+        if issued is not None and retired is not None and issued < retired:
+            found.append(SlotConservationViolation(
+                "more uops retired than issued",
+                invariant="issued-ge-retired", workload=m.workload,
+                config=m.config_name, observed=issued,
+                expected=f">= {retired}"))
+        return found
+
+    def _slot_conservation(self, m: Measurement
+                           ) -> List[ReliabilityError]:
+        """Every top-level TMA class within its tolerance-padded range."""
+        found: List[ReliabilityError] = []
+        if m.cycles <= 0:
+            if m.instret > 0:
+                found.append(CounterCorruption(
+                    "instructions retired in zero cycles",
+                    invariant="slot-conservation", workload=m.workload,
+                    config=m.config_name, observed=m.instret,
+                    expected=0))
+            return found
+        try:
+            tma = compute_tma(m)
+        except (ValueError, ZeroDivisionError) as exc:
+            found.append(SlotConservationViolation(
+                f"TMA model rejected the measurement: {exc}",
+                invariant="slot-conservation", workload=m.workload,
+                config=m.config_name))
+            return found
+        tol = self.slot_tolerance
+        for name, fraction in tma.level1.items():
+            if not -tol <= fraction <= 1.0 + tol:
+                found.append(SlotConservationViolation(
+                    f"top-level class {name!r} outside [0, 1]",
+                    invariant="slot-conservation", workload=m.workload,
+                    config=m.config_name, observed=round(fraction, 6),
+                    expected=f"[-{tol}, {1.0 + tol}]"))
+        return found
+
+    # ------------------------------------------------------------------
+    # cross-run invariants
+    # ------------------------------------------------------------------
+
+    def check_matches_reference(self, measurement: Measurement,
+                                reference: Measurement) -> None:
+        """A deterministic trace must reproduce its reference exactly."""
+        if measurement.cycles != reference.cycles:
+            raise CounterCorruption(
+                "cycle count diverged from the reference run",
+                invariant="reference-divergence",
+                workload=measurement.workload,
+                config=measurement.config_name,
+                observed=measurement.cycles, expected=reference.cycles)
+        if measurement.instret != reference.instret:
+            raise CounterCorruption(
+                "retire count diverged from the reference run",
+                invariant="reference-divergence",
+                workload=measurement.workload,
+                config=measurement.config_name,
+                observed=measurement.instret, expected=reference.instret)
+        for name, expected in reference.events.items():
+            observed = measurement.events.get(name)
+            if observed is not None and observed != expected:
+                raise CounterCorruption(
+                    f"counter {name!r} diverged from the reference run",
+                    invariant="reference-divergence",
+                    workload=measurement.workload,
+                    config=measurement.config_name,
+                    observed=observed, expected=expected)
+
+    def check_monotonic(self, measurements: Sequence[Measurement]) -> None:
+        """Cycles/instret non-decreasing across ascending scales."""
+        previous: Optional[Measurement] = None
+        for m in measurements:
+            if previous is not None:
+                if m.cycles < previous.cycles:
+                    raise CounterCorruption(
+                        "cycle count shrank as the scale grew",
+                        invariant="scale-monotonicity",
+                        workload=m.workload, config=m.config_name,
+                        observed=m.cycles, expected=f">= {previous.cycles}")
+                if m.instret < previous.instret:
+                    raise CounterCorruption(
+                        "retire count shrank as the scale grew",
+                        invariant="scale-monotonicity",
+                        workload=m.workload, config=m.config_name,
+                        observed=m.instret,
+                        expected=f">= {previous.instret}")
+            previous = m
+
+    def check_multiplex_agreement(self, harness: PerfHarness,
+                                  workload: str, config,
+                                  event_names: Sequence[str],
+                                  scale: float = 1.0,
+                                  max_cycles: Optional[int] = None
+                                  ) -> Measurement:
+        """Multiplexed-pass totals == single-pass totals (deterministic).
+
+        Measures all *event_names* together, then each alone (one pass
+        per event — the fully multiplexed decomposition), and demands
+        exact agreement.  Returns the combined measurement.
+        """
+        combined = harness.measure(workload, config,
+                                   event_names=list(event_names),
+                                   scale=scale, max_cycles=max_cycles)
+        for name in event_names:
+            alone = harness.measure(workload, config, event_names=[name],
+                                    scale=scale, max_cycles=max_cycles)
+            if alone.events[name] != combined.events[name]:
+                raise CounterCorruption(
+                    f"multiplexed reading of {name!r} disagrees with "
+                    f"its single-pass reading",
+                    invariant="multiplex-agreement", workload=workload,
+                    config=combined.config_name,
+                    observed=combined.events[name],
+                    expected=alone.events[name])
+        return combined

@@ -1,0 +1,196 @@
+"""Resilient batch runner: sweeps that degrade instead of dying.
+
+:class:`ResilientRunner` wraps :meth:`PerfHarness.measure` over a
+(workload x config) grid with the guard rails a production-scale sweep
+needs:
+
+- a per-run cycle-budget watchdog (a hung or truncated run raises
+  :class:`~repro.isa.errors.RunTimeout` instead of spinning),
+- invariant checking of every measurement through
+  :class:`~repro.reliability.invariants.TmaInvariantChecker`,
+- bounded retry with (deterministic, injectable) backoff on
+  transient/injected failures,
+- quarantine of poisoned cache entries — verified, deleted, re-run —
+  via the checksummed result cache,
+- partial-result reporting: one bad pair marks its own outcome failed
+  and the sweep continues.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..core.tma import TmaResult, compute_tma
+from ..cores.base import BoomConfig, RocketConfig
+from ..pmu.harness import Measurement, PerfHarness
+from ..tools import cache
+from .errors import CacheIntegrityError, ReliabilityError
+from .invariants import TmaInvariantChecker
+
+CoreConfig = Union[RocketConfig, BoomConfig]
+
+#: Default per-run watchdog: generous for every registered workload at
+#: the scales the sweeps use, tiny next to a genuine hang.
+DEFAULT_MAX_CYCLES = 2_000_000
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one (workload, config) pair of a sweep."""
+
+    workload: str
+    config_name: str
+    status: str = "ok"                  # "ok" | "failed"
+    attempts: int = 0
+    quarantined: bool = False
+    error_class: Optional[str] = None
+    error: Optional[str] = None
+    measurement: Optional[Measurement] = None
+    tma: Optional[TmaResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class SweepReport:
+    """Partial-result report of a whole grid sweep."""
+
+    outcomes: List[RunOutcome] = field(default_factory=list)
+    quarantined_keys: List[str] = field(default_factory=list)
+
+    @property
+    def completed(self) -> List[RunOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failed(self) -> List[RunOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def summary(self) -> str:
+        lines = [f"sweep: {len(self.completed)}/{len(self.outcomes)} "
+                 f"pairs completed, {len(self.quarantined_keys)} cache "
+                 f"entries quarantined"]
+        for outcome in self.outcomes:
+            flag = "ok " if outcome.ok else "FAIL"
+            extra = ""
+            if outcome.quarantined:
+                extra += " [quarantined+rerun]"
+            if outcome.error_class:
+                extra += f" [{outcome.error_class}: {outcome.error}]"
+            lines.append(f"  {flag} {outcome.workload:<14s} "
+                         f"{outcome.config_name:<14s} "
+                         f"attempts={outcome.attempts}{extra}")
+        return "\n".join(lines)
+
+
+class ResilientRunner:
+    """Fault-tolerant (workload x config) measurement sweeps.
+
+    ``backoff_base`` seconds double per retry (0 disables sleeping —
+    the deterministic simulator's "transient" failures are injected, so
+    tests keep it at 0); ``sleep`` is injectable for testing.
+    """
+
+    def __init__(self, harness: Optional[PerfHarness] = None,
+                 checker: Optional[TmaInvariantChecker] = None,
+                 event_names: Optional[Sequence[str]] = None,
+                 scale: float = 1.0,
+                 max_attempts: int = 3,
+                 max_cycles: Optional[int] = DEFAULT_MAX_CYCLES,
+                 backoff_base: float = 0.0,
+                 use_cache: bool = True,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.harness = harness or PerfHarness()
+        self.checker = checker or TmaInvariantChecker()
+        self.event_names = list(event_names) if event_names else None
+        self.scale = scale
+        self.max_attempts = max_attempts
+        self.max_cycles = max_cycles
+        self.backoff_base = backoff_base
+        self.use_cache = use_cache
+        self.sleep = sleep
+
+    # ------------------------------------------------------------------
+
+    def _harness_for(self, config: CoreConfig) -> PerfHarness:
+        """The configured harness, re-targeted if the core differs."""
+        if self.harness.core == config.core:
+            return self.harness
+        return PerfHarness(core=config.core,
+                           increment_mode=self.harness.increment_mode,
+                           mode=self.harness.mode,
+                           fault_injector=self.harness.fault_injector)
+
+    def _events_for(self, config: CoreConfig) -> Optional[Sequence[str]]:
+        """Configured event names, but only for the matching core."""
+        if self.event_names is None or self.harness.core == config.core:
+            return self.event_names
+        return None
+
+    def _quarantine_if_poisoned(self, workload: str, config: CoreConfig,
+                                outcome: RunOutcome,
+                                report: Optional[SweepReport]) -> None:
+        """Verify the pair's cache entry; delete it if it is poisoned."""
+        if not self.use_cache:
+            return
+        key = cache.cache_key(workload, self.scale, config)
+        try:
+            cache.verify_entry(key)
+        except CacheIntegrityError as exc:
+            cache.quarantine(key)
+            outcome.quarantined = True
+            outcome.error_class = type(exc).__name__
+            outcome.error = str(exc)
+            if report is not None:
+                report.quarantined_keys.append(key)
+
+    def run_one(self, workload: str, config: CoreConfig,
+                report: Optional[SweepReport] = None) -> RunOutcome:
+        """Measure one pair with watchdog, validation, and retries."""
+        outcome = RunOutcome(workload=workload, config_name=config.name)
+        self._quarantine_if_poisoned(workload, config, outcome, report)
+        harness = self._harness_for(config)
+        event_names = self._events_for(config)
+        last_error: Optional[ReliabilityError] = None
+        for attempt in range(self.max_attempts):
+            outcome.attempts = attempt + 1
+            if attempt and self.backoff_base:
+                self.sleep(self.backoff_base * (2 ** (attempt - 1)))
+            try:
+                measurement = harness.measure(
+                    workload, config, event_names=event_names,
+                    scale=self.scale, max_cycles=self.max_cycles)
+                self.checker.check_measurement(measurement)
+            except ReliabilityError as exc:
+                last_error = exc
+                continue
+            outcome.status = "ok"
+            outcome.measurement = measurement
+            outcome.tma = compute_tma(measurement)
+            if not outcome.quarantined:
+                outcome.error_class = None
+                outcome.error = None
+            if self.use_cache and measurement.result is not None:
+                key = cache.cache_key(workload, self.scale, config)
+                cache.store(key, measurement.result)
+            return outcome
+        outcome.status = "failed"
+        outcome.error_class = type(last_error).__name__
+        outcome.error = str(last_error)
+        return outcome
+
+    def run_grid(self, workloads: Sequence[str],
+                 configs: Sequence[CoreConfig]) -> SweepReport:
+        """Sweep the full grid; failures degrade, never abort."""
+        report = SweepReport()
+        for workload in workloads:
+            for config in configs:
+                report.outcomes.append(
+                    self.run_one(workload, config, report))
+        return report

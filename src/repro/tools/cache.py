@@ -4,6 +4,15 @@ Cycle-level simulation is the expensive step of the pipeline, so results
 are cached as JSON keyed by (workload, scale, config, model fingerprint).
 The fingerprint hashes the source of every module that influences timing,
 so editing the simulator invalidates stale results automatically.
+
+Integrity: every entry written by :func:`store` embeds a checksum of its
+payload, so silent on-disk corruption (a flipped byte that is still
+valid JSON) is detectable.  :func:`load` treats any unreadable, corrupt,
+or checksum-failing entry as a miss; :func:`verify_entry` classifies the
+same conditions strictly, raising
+:class:`~repro.isa.errors.CacheIntegrityError` so the resilient runner
+can quarantine poisoned entries (verify, delete, re-run) instead of
+serving them.
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from ..cores.base import BoomConfig, CoreResult, RocketConfig
+from ..isa.errors import CacheIntegrityError
 from ..uarch.branch import PredictorStats
 from ..uarch.cache import CacheStats
 
@@ -108,22 +118,106 @@ def _deserialize(payload: Dict[str, Any]) -> CoreResult:
     )
 
 
+#: Top-level key holding the payload checksum in on-disk entries.
+_CHECKSUM_KEY = "__sha256__"
+
+
+def entry_path(key: str) -> Path:
+    """On-disk location of the entry for *key* (existing or not)."""
+    return cache_dir() / f"{key}.json"
+
+
+def _payload_checksum(payload: Dict[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _read_verified(path: Path) -> Optional[CoreResult]:
+    """Read + validate one entry; raises CacheIntegrityError on damage."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        # OSError: unreadable file; ValueError covers JSONDecodeError
+        # plus truncated/garbled documents.
+        raise CacheIntegrityError(
+            f"unreadable cache entry {path.name}: {exc}",
+            invariant="cache-readable", observed=str(exc)) from exc
+    if not isinstance(document, dict):
+        raise CacheIntegrityError(
+            f"cache entry {path.name} is not a JSON object",
+            invariant="cache-schema", observed=type(document).__name__)
+    stored_sum = document.pop(_CHECKSUM_KEY, None)
+    if stored_sum is not None:
+        actual = _payload_checksum(document)
+        if actual != stored_sum:
+            raise CacheIntegrityError(
+                f"cache entry {path.name} failed its checksum",
+                invariant="cache-checksum",
+                observed=actual, expected=stored_sum)
+    try:
+        return _deserialize(document)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CacheIntegrityError(
+            f"cache entry {path.name} has a broken schema: {exc}",
+            invariant="cache-schema", observed=str(exc)) from exc
+
+
 def load(key: str) -> Optional[CoreResult]:
-    path = cache_dir() / f"{key}.json"
+    path = entry_path(key)
     if not path.exists():
         return None
     try:
-        with open(path, "r", encoding="utf-8") as handle:
-            return _deserialize(json.load(handle))
-    except (json.JSONDecodeError, KeyError, TypeError):
+        return _read_verified(path)
+    except CacheIntegrityError:
         return None  # treat corrupt entries as misses
+
+
+def verify_entry(key: str) -> bool:
+    """Strictly validate the entry for *key*.
+
+    Returns ``False`` when no entry exists, ``True`` when the entry is
+    present and intact, and raises
+    :class:`~repro.isa.errors.CacheIntegrityError` when the entry is
+    present but unreadable, checksum-failing, or schema-broken.
+    """
+    path = entry_path(key)
+    if not path.exists():
+        return False
+    _read_verified(path)
+    return True
+
+
+def quarantine(key: str) -> bool:
+    """Delete the (presumed poisoned) entry for *key*.
+
+    Returns ``True`` when an entry was removed.  The caller re-runs the
+    simulation to repopulate the slot.
+    """
+    path = entry_path(key)
+    try:
+        os.remove(path)
+        return True
+    except FileNotFoundError:
+        return False
 
 
 def store(key: str, result: CoreResult) -> None:
     directory = cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{key}.json"
-    tmp_path = path.with_suffix(".tmp")
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(_serialize(result), handle)
-    os.replace(tmp_path, path)
+    payload = _serialize(result)
+    payload[_CHECKSUM_KEY] = _payload_checksum(payload)
+    # Per-process tmp name: concurrent benchmark processes must not
+    # clobber each other's in-flight writes before the atomic replace.
+    tmp_path = path.with_suffix(f".{os.getpid()}.tmp")
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+    finally:
+        if tmp_path.exists():
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass

@@ -10,6 +10,9 @@ Mirrors the artifact's ``tma_tool`` commands::
     python -m repro.tools.cli vlsi
     python -m repro.tools.cli perf --workload coremark --events \
         uops_issued,uops_retired --counter-arch distributed
+    python -m repro.tools.cli reliability --faults 5 --seed 0
+
+(Installed as the ``repro-tma`` console script.)
 """
 
 from __future__ import annotations
@@ -187,6 +190,17 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    from ..reliability import run_campaign
+
+    config = config_by_name(args.config)
+    report = run_campaign(seed=args.seed, faults=args.faults,
+                          workload=args.workload, config=config,
+                          scale=args.scale, max_cycles=args.max_cycles)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tma_tool", description=__doc__,
@@ -251,6 +265,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--show-tma", action="store_true")
     _add_common(p_perf)
     p_perf.set_defaults(func=_cmd_perf)
+
+    p_rel = sub.add_parser(
+        "reliability",
+        help="fault-injection campaign + TMA invariant audit")
+    p_rel.add_argument("--faults", type=int, default=5,
+                       help="number of faults to inject (>=5 covers "
+                            "every fault class)")
+    p_rel.add_argument("--seed", type=int, default=0,
+                       help="campaign seed (faults are deterministic)")
+    p_rel.add_argument("--workload", default="median")
+    p_rel.add_argument("--config", default="large-boom",
+                       choices=sorted(CONFIGS_BY_NAME))
+    p_rel.add_argument("--scale", type=float, default=0.3)
+    p_rel.add_argument("--max-cycles", type=int, default=200_000,
+                       help="per-run watchdog budget (cycles)")
+    p_rel.set_defaults(func=_cmd_reliability)
     return parser
 
 

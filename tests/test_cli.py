@@ -11,6 +11,16 @@ def run_cli(capsys, *argv):
     return code, captured.out, captured.err
 
 
+def test_reliability_smoke_campaign(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    code, out, _ = run_cli(capsys, "reliability", "--faults", "1",
+                           "--seed", "0", "--scale", "0.15",
+                           "--max-cycles", "100000")
+    assert code == 0
+    assert "campaign PASSED" in out
+    assert "detected 1/1" in out
+
+
 def test_parser_requires_command():
     parser = build_parser()
     with pytest.raises(SystemExit):

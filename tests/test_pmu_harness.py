@@ -3,8 +3,9 @@
 import pytest
 
 from repro.cores import LARGE_BOOM, ROCKET
+from repro.isa import AssemblerError, assemble, execute
 from repro.pmu import CsrFile, PerfHarness
-from repro.pmu.harness import NUM_PROGRAMMABLE
+from repro.pmu.harness import NUM_PROGRAMMABLE, CounterAssignment
 
 
 def test_plan_one_counter_per_event():
@@ -77,6 +78,48 @@ def test_invalid_mode_rejected():
         PerfHarness(mode="windows")
 
 
+def test_invalid_increment_mode_rejected():
+    with pytest.raises(ValueError):
+        PerfHarness(core="boom", increment_mode="quantum")
+
+
+def test_measure_empty_event_names_rejected():
+    harness = PerfHarness(core="boom")
+    with pytest.raises(ValueError):
+        harness.measure("median", LARGE_BOOM, event_names=[], scale=0.3)
+
+
+def test_boot_sequence_rejects_out_of_range_counter_index():
+    """mhpmevent35 names no architected CSR, so assembly must fail."""
+    harness = PerfHarness(core="boom", mode="linux")
+    bogus = CounterAssignment(slots=[(35, ["fetch_bubbles"])])
+    with pytest.raises(AssemblerError):
+        harness.apply_boot_sequence(CsrFile(core="boom"), bogus)
+
+
+def test_boot_sequence_numeric_csr_assembles_but_warl_ignored():
+    """A numeric CSR token assembles fine; an unmapped address is WARL
+    (write-any-read-legal) in the CSR file, so no counter gets armed."""
+    source = "\n".join([
+        ".text",
+        "_start:",
+        "    li t0, 1",
+        "    csrw 0x350, t0",
+        "    li a7, 93",
+        "    ecall",
+    ]) + "\n"
+    trace = execute(assemble(source, name="warl-probe"))
+    csr = CsrFile(core="boom")
+    writes = 0
+    for inst in trace:
+        if inst.csr >= 0 and inst.csr_write is not None:
+            csr.write(inst.csr, inst.csr_write)
+            writes += 1
+    assert writes == 1
+    assert all(counter.selector == 0
+               for counter in csr.counters.values())
+
+
 def test_measure_end_to_end_boom():
     harness = PerfHarness(core="boom", increment_mode="adders")
     measurement = harness.measure(
@@ -111,6 +154,21 @@ def test_measure_linux_mode_agrees_with_baremetal():
     linux = PerfHarness(core="boom", mode="linux").measure(
         "median", LARGE_BOOM, event_names=events, scale=0.3)
     assert bare.events == linux.events
+
+
+def test_multiplexed_passes_agree_with_single_pass():
+    """Deterministic traces make multiplexing exact: a 2-pass schedule
+    must read the same totals as a single-pass one."""
+    harness = PerfHarness(core="boom")
+    multi = harness.measure(
+        "median", LARGE_BOOM,
+        event_names=["cycles"] * 30 + ["uops_retired"], scale=0.3)
+    assert multi.passes == 2
+    single = harness.measure(
+        "median", LARGE_BOOM,
+        event_names=["cycles", "uops_retired"], scale=0.3)
+    assert multi.events == single.events
+    assert multi.cycles == single.cycles
 
 
 def test_measure_rocket():

@@ -5,8 +5,11 @@ import os
 import pytest
 
 from repro.cores import LARGE_BOOM, ROCKET
+from repro.isa.errors import CacheIntegrityError
 from repro.tools import rocket_with_l1d, run_core, run_tma
-from repro.tools.cache import (cache_key, load, model_fingerprint, store)
+from repro.tools.cache import (cache_key, entry_path, load,
+                               model_fingerprint, quarantine, store,
+                               verify_entry)
 
 
 @pytest.fixture(autouse=True)
@@ -50,6 +53,47 @@ def test_corrupt_entry_treated_as_miss(isolated_cache):
     path = isolated_cache / f"{key}.json"
     path.write_text("{not json")
     assert load(key) is None
+
+
+def test_unreadable_entry_treated_as_miss(isolated_cache):
+    key = cache_key("vvadd", 0.2, ROCKET)
+    path = isolated_cache / f"{key}.json"
+    path.mkdir()  # load() hits IsADirectoryError, an OSError
+    assert load(key) is None
+
+
+def test_checksum_mismatch_detected(isolated_cache):
+    result = run_core("vvadd", ROCKET, scale=0.2, use_cache=False)
+    key = cache_key("vvadd", 0.2, ROCKET)
+    store(key, result)
+    path = entry_path(key)
+    text = path.read_text()
+    assert "__sha256__" in text
+    path.write_text(text.replace(str(result.cycles),
+                                 str(result.cycles + 1), 1))
+    with pytest.raises(CacheIntegrityError) as excinfo:
+        verify_entry(key)
+    assert excinfo.value.invariant == "cache-checksum"
+    assert load(key) is None  # lenient reader treats damage as a miss
+
+
+def test_verify_and_quarantine_lifecycle(isolated_cache):
+    key = cache_key("median", 0.2, ROCKET)
+    assert verify_entry(key) is False      # missing
+    assert quarantine(key) is False        # nothing to remove
+    result = run_core("median", ROCKET, scale=0.2, use_cache=False)
+    store(key, result)
+    assert verify_entry(key) is True       # intact
+    assert quarantine(key) is True
+    assert not entry_path(key).exists()
+
+
+def test_store_leaves_no_tmp_files(isolated_cache):
+    result = run_core("vvadd", ROCKET, scale=0.2, use_cache=False)
+    store(cache_key("vvadd", 0.2, ROCKET), result)
+    leftovers = [p for p in isolated_cache.iterdir()
+                 if p.suffix == ".tmp"]
+    assert leftovers == []
 
 
 def test_run_core_uses_cache(isolated_cache):
