@@ -14,7 +14,6 @@
    and doing nothing for pointer chases.
 """
 
-import math
 from dataclasses import replace
 
 import pytest

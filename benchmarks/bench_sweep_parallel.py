@@ -1,0 +1,73 @@
+"""Tier-2: parallel sweep engine vs. the serial resilient runner.
+
+Not a paper figure — this bench guards the evaluation *infrastructure*:
+the process-pool sweep engine must merge to exactly the serial runner's
+results while the fast-path core loop keeps its speedup over the traced
+path.  The rendered artifact mirrors what ``repro-tma bench`` writes to
+``BENCH_*.json``; the assertions pin the two properties the CI gate
+enforces (identical merges, fast path genuinely faster).
+"""
+
+import pytest
+
+from repro.cores import ROCKET
+from repro.pmu.harness import PerfHarness, make_core
+from repro.reliability.runner import ResilientRunner
+from repro.tools.bench import _outcome_digest
+from repro.tools.parallel import ParallelSweepRunner
+from repro.workloads import build_trace
+
+WORKLOADS = ["dhrystone", "median", "qsort", "towers"]
+SCALE = 0.5
+
+
+def _make_runner():
+    return ResilientRunner(harness=PerfHarness(core="rocket"),
+                           scale=SCALE, use_cache=False)
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return ParallelSweepRunner(runner=_make_runner(),
+                               max_workers=1).run_grid(WORKLOADS, [ROCKET])
+
+
+def test_parallel_sweep_matches_serial(benchmark, serial_report, artifact):
+    parallel = benchmark(
+        lambda: ParallelSweepRunner(runner=_make_runner(),
+                                    max_workers=4).run_grid(WORKLOADS,
+                                                            [ROCKET]))
+    assert [_outcome_digest(o) for o in parallel.outcomes] \
+        == [_outcome_digest(o) for o in serial_report.outcomes]
+    artifact("sweep_parallel_engine", parallel.summary())
+
+
+def test_serial_sweep_baseline(benchmark):
+    report = benchmark(
+        lambda: ParallelSweepRunner(runner=_make_runner(),
+                                    max_workers=1).run_grid(WORKLOADS,
+                                                            [ROCKET]))
+    assert all(o.ok for o in report.outcomes)
+
+
+def test_fastpath_core_speedup(benchmark, artifact):
+    """The sweeps lean on the tracerless fast path; keep it fast."""
+    traces = {name: build_trace(name, scale=SCALE) for name in WORKLOADS}
+
+    def traced():
+        return [make_core(ROCKET).run(traces[n], fast_path=False)
+                for n in WORKLOADS]
+
+    def fast():
+        return [make_core(ROCKET).run(traces[n], fast_path=True)
+                for n in WORKLOADS]
+
+    fast_results = benchmark(fast)
+    traced_results = traced()
+    for fast_result, traced_result in zip(fast_results, traced_results):
+        assert fast_result.events == traced_result.events
+        assert fast_result.cycles == traced_result.cycles
+        assert fast_result.instret == traced_result.instret
+    artifact("sweep_fastpath_equivalence",
+             "fast path == traced path on "
+             + ", ".join(WORKLOADS) + f" (scale {SCALE})")

@@ -200,11 +200,18 @@ class EventAccumulator:
 
     def add(self, signals: Mapping[str, int]) -> None:
         totals = self.totals
+        track = self._track
         for name, mask in signals.items():
             if not mask:
                 continue
-            totals[name] = totals.get(name, 0) + mask.bit_count()
-            if name in self._track:
+            # Single-lane signals (mask == 1, the overwhelmingly common
+            # case) skip the popcount.
+            count = 1 if mask == 1 else mask.bit_count()
+            if name in totals:
+                totals[name] += count
+            else:
+                totals[name] = count
+            if track and name in track:
                 per_lane = self.lane_totals.get(name)
                 if per_lane is None:
                     per_lane = []

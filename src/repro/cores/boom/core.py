@@ -141,13 +141,27 @@ class BoomCore:
     # ------------------------------------------------------------------
 
     def run(self, trace: DynamicTrace,
-            max_cycles: Optional[int] = None) -> CoreResult:
+            max_cycles: Optional[int] = None,
+            fast_path: Optional[bool] = None) -> CoreResult:
         """Replay *trace* and return per-event totals.
 
         *max_cycles* arms a watchdog (default off): exceeding the budget
         raises :class:`~repro.isa.errors.RunTimeout` instead of spinning
         until the internal safety stop silently truncates the run.
+
+        *fast_path* (default auto, like
+        :meth:`repro.cores.rocket.RocketCore.run`) reuses one signal
+        dictionary across cycles instead of allocating a fresh per-cycle
+        record when no observer or fault hook needs to retain it; the
+        results are bit-identical either way.
         """
+        traceless = not self.observers and self.fault_hook is None
+        if fast_path is None:
+            fast_path = traceless
+        elif fast_path and not traceless:
+            raise ValueError(
+                "fast_path=True reuses the per-cycle signal record, but "
+                "an observer or fault hook is attached and retains it")
         config = self.config
         w_c = config.decode_width
         issue_ports = (config.issue_int, config.issue_mem, config.issue_fp)
@@ -184,17 +198,30 @@ class BoomCore:
         wrong_path = False        # a mispredicted CF is in flight
 
         safety_limit = total * _SAFETY_CYCLES_PER_INST + 20_000
+        budget = safety_limit + 1 if max_cycles is None else max_cycles
         fault_hook = self.fault_hook
+        accumulator_add = accumulator.add
+        mshr_refill_in_flight = self.l1d.mshrs.refill_in_flight
+        rob_capacity = config.rob_entries
+        #: Fast path: one reused record, cleared per cycle; traced path
+        #: allocates per cycle because observers may retain the mapping.
+        reused_signals: Dict[str, int] = {}
 
         while retired < total and cycle < safety_limit:
-            check_cycle_budget(cycle, max_cycles,
-                               workload=trace.program_name,
-                               retired=retired, total=total)
+            if cycle >= budget:
+                check_cycle_budget(cycle, max_cycles,
+                                   workload=trace.program_name,
+                                   retired=retired, total=total)
             if fault_hook is not None and fault_hook.stall_cycle(cycle):
                 # Injected stall: the whole core freezes this cycle.
                 cycle += 1
                 continue
-            signals: Dict[str, int] = {"cycles": 1}
+            if fast_path:
+                signals = reused_signals
+                signals.clear()
+                signals["cycles"] = 1
+            else:
+                signals = {"cycles": 1}
 
             # ---------------- commit ----------------------------------
             commit_lanes = 0
@@ -314,8 +341,7 @@ class BoomCore:
             # D$-blocked heuristic (§IV-A): per commit-width slot, high
             # when the slot got no valid instruction, a queue is
             # non-empty, and at least one MSHR is handling a miss.
-            if any_queue_nonempty \
-                    and self.l1d.mshrs.refill_in_flight(cycle):
+            if any_queue_nonempty and mshr_refill_in_flight(cycle):
                 mask = 0
                 for slot in range(w_c):
                     if issued_total <= slot:
@@ -330,11 +356,11 @@ class BoomCore:
                 if backend_blocked:
                     break
                 if not fetch_buffer:
-                    if not recovering and len(rob) < config.rob_entries:
+                    if not recovering and len(rob) < rob_capacity:
                         bubble_mask |= 1 << lane
                     continue
                 uop = fetch_buffer[0]
-                if len(rob) >= config.rob_entries:
+                if len(rob) >= rob_capacity:
                     break
                 if uop.serializes:
                     if rob:
@@ -396,7 +422,7 @@ class BoomCore:
                 elif cycle >= recovering_from:
                     signals["recovering"] = 1
 
-            accumulator.add(signals)
+            accumulator_add(signals)
             for observer in observers:
                 observer.on_cycle(cycle, signals)
             cycle += 1

@@ -50,7 +50,8 @@ class DynInst:
 
     __slots__ = ("index", "pc", "cls", "dest", "srcs", "latency", "mem_addr",
                  "mem_width", "is_load", "is_store", "is_branch", "taken",
-                 "next_pc", "is_fence", "csr", "csr_write", "mnemonic")
+                 "next_pc", "is_fence", "csr", "csr_write", "mnemonic",
+                 "is_mem", "is_control_flow")
 
     def __init__(self, index: int, pc: int, cls: InstrClass, dest: int,
                  srcs: Tuple[int, ...], latency: int, next_pc: int,
@@ -76,15 +77,11 @@ class DynInst:
         self.is_fence = is_fence
         self.csr = csr
         self.csr_write = csr_write
-
-    @property
-    def is_mem(self) -> bool:
-        return self.is_load or self.is_store
-
-    @property
-    def is_control_flow(self) -> bool:
-        return self.cls in (InstrClass.BRANCH, InstrClass.JUMP,
-                            InstrClass.JUMP_REG)
+        # Derived flags are precomputed: the core models read them every
+        # simulated cycle, so property-call overhead is measurable.
+        self.is_mem = is_load or is_store
+        self.is_control_flow = cls in (InstrClass.BRANCH, InstrClass.JUMP,
+                                       InstrClass.JUMP_REG)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"DynInst(#{self.index} pc={self.pc:#x} {self.mnemonic}"

@@ -14,10 +14,10 @@ the in-memory ``Instruction`` stores absolute targets — ``encode`` and
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from .errors import IsaError
-from .instructions import Instruction, OPCODES
+from .instructions import Instruction
 from .program import Program
 
 _U32 = (1 << 32) - 1

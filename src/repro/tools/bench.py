@@ -1,0 +1,306 @@
+"""Benchmark harness with a regression gate: ``repro-tma bench``.
+
+Runs the tier-2 performance set — the Fig. 7 Rocket workload suite
+single-run (traced vs. fast path) and the (workload x config) sweep
+(serial vs. parallel) — and writes a ``BENCH_*.json`` snapshot of:
+
+- wall-clock and runs/sec for every mode,
+- the fast-path speedup over the traced path,
+- the parallel sweep's speedup over serial and its per-worker
+  efficiency,
+- whether parallel and serial sweeps merged to identical results.
+
+The regression gate compares the *ratio* metrics (speedups,
+efficiency) against the previous snapshot with a configurable
+threshold.  Ratios are used because they are approximately
+machine-independent: absolute runs/sec differ wildly across CI
+runners, but "fast path is 2.2x the traced path" holds anywhere the
+same interpreter runs, so a drop means the code regressed, not the
+machine.  Absolute numbers are recorded for humans, never gated.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import platform
+import re
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cores.configs import ROCKET
+from ..pmu.harness import PerfHarness
+from ..reliability.runner import ResilientRunner
+from ..workloads import build_trace, workload_names
+from .parallel import ParallelSweepRunner
+
+#: Snapshot written by this PR's harness; bump per PR with a baseline.
+DEFAULT_OUTPUT = "BENCH_PR2.json"
+
+#: Ratio metrics the gate enforces ("section.key" paths).  Anything
+#: not listed here is informational only.
+GATED_METRICS = (
+    "fastpath.speedup",
+    "parallel.speedup",
+    "parallel.efficiency",
+)
+
+#: Workloads for the quick (CI) variant: a cross-section of the micro
+#: suite that exercises caches, branches, and serial dependencies.
+QUICK_WORKLOADS = (
+    "dhrystone",
+    "median",
+    "qsort",
+    "towers",
+    "vvadd",
+    "spmv",
+    "mergesort",
+    "multiply",
+)
+
+
+def _fingerprint() -> Dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpus": str(os.cpu_count() or 1),
+    }
+
+
+def _outcome_digest(outcome) -> Tuple:
+    """Hashable identity of one sweep outcome for equivalence checks."""
+    measurement = outcome.measurement
+    if measurement is None:
+        measured = None
+    else:
+        measured = (
+            tuple(sorted(measurement.events.items())),
+            measurement.cycles,
+            measurement.instret,
+            measurement.passes,
+        )
+    return (
+        outcome.workload,
+        outcome.config_name,
+        outcome.status,
+        outcome.attempts,
+        measured,
+    )
+
+
+def _bench_fastpath(
+    workloads: Sequence[str],
+    scale: float,
+    inject_slowdown: float,
+) -> Dict[str, float]:
+    """Single-run Fig. 7 Rocket suite: traced path vs. fast path.
+
+    The traced path attaches the per-cycle signal machinery the PMU
+    models consume; the fast path is the tracerless loop the sweeps
+    use.  Both replay identical committed-path traces, so the ratio is
+    a pure measure of the core model's inner loop.
+    """
+    from ..pmu.harness import make_core
+
+    traces = {name: build_trace(name, scale=scale) for name in workloads}
+
+    start = time.perf_counter()
+    for name in workloads:
+        make_core(ROCKET).run(traces[name], fast_path=False)
+    traced_s = time.perf_counter() - start
+
+    per_run_penalty = inject_slowdown * traced_s / len(workloads)
+    start = time.perf_counter()
+    for name in workloads:
+        make_core(ROCKET).run(traces[name], fast_path=True)
+        if per_run_penalty:
+            time.sleep(per_run_penalty)
+    fast_s = time.perf_counter() - start
+
+    return {
+        "workloads": len(workloads),
+        "traced_wall_s": round(traced_s, 4),
+        "fast_wall_s": round(fast_s, 4),
+        "traced_runs_per_s": round(len(workloads) / traced_s, 3),
+        "fast_runs_per_s": round(len(workloads) / fast_s, 3),
+        "speedup": round(traced_s / fast_s, 3),
+    }
+
+
+def _bench_parallel(
+    workloads: Sequence[str],
+    scale: float,
+    workers: int,
+) -> Dict[str, float]:
+    """Sweep the grid serially and in parallel; compare wall clock.
+
+    Caching is off for both so every pair pays the full simulation on
+    both sides; merged results must be identical regardless of engine.
+    """
+    configs = [ROCKET]
+
+    def make_runner() -> ResilientRunner:
+        harness = PerfHarness(core="rocket")
+        return ResilientRunner(harness=harness, scale=scale, use_cache=False)
+
+    start = time.perf_counter()
+    serial_engine = ParallelSweepRunner(runner=make_runner(), max_workers=1)
+    serial = serial_engine.run_grid(workloads, configs)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pool_engine = ParallelSweepRunner(runner=make_runner(), max_workers=workers)
+    parallel = pool_engine.run_grid(workloads, configs)
+    parallel_s = time.perf_counter() - start
+
+    serial_digests = [_outcome_digest(o) for o in serial.outcomes]
+    parallel_digests = [_outcome_digest(o) for o in parallel.outcomes]
+    identical = serial_digests == parallel_digests
+    runs = len(serial.outcomes)
+    speedup = serial_s / parallel_s
+    # Per-core efficiency normalizes by the cores the workers can
+    # actually occupy, so the metric is comparable across runners: 4
+    # workers on 1 core should score ~1.0 (no useless overhead), and 4
+    # workers on >=4 cores should score speedup/4.
+    effective_cores = max(1, min(workers, os.cpu_count() or 1))
+    return {
+        "runs": runs,
+        "workers": workers,
+        "effective_cores": effective_cores,
+        "engine": parallel.engine,
+        "serial_wall_s": round(serial_s, 4),
+        "parallel_wall_s": round(parallel_s, 4),
+        "serial_runs_per_s": round(runs / serial_s, 3),
+        "parallel_runs_per_s": round(runs / parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "efficiency": round(speedup / effective_cores, 3),
+        "identical": identical,
+    }
+
+
+def run_benchmarks(
+    quick: bool = False,
+    workers: Optional[int] = None,
+    inject_slowdown: float = 0.0,
+) -> Dict:
+    """Run the tier-2 set and return the ``BENCH_*.json`` payload.
+
+    ``workers`` defaults to 4 — the acceptance point for sweep scaling
+    — even on smaller machines; efficiency is normalized by the cores
+    the workers can actually occupy.
+    """
+    workers = workers or 4
+    if quick:
+        workloads: Sequence[str] = QUICK_WORKLOADS
+    else:
+        workloads = workload_names("micro")
+    scale = 1.0
+    return {
+        "bench": "tier-2",
+        "mode": "quick" if quick else "full",
+        "scale": scale,
+        "fingerprint": _fingerprint(),
+        "fastpath": _bench_fastpath(workloads, scale, inject_slowdown),
+        "parallel": _bench_parallel(workloads, scale, workers),
+    }
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+
+
+def _lookup(payload: Dict, path: str) -> Optional[float]:
+    node = payload
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+def compare_benchmarks(
+    current: Dict,
+    baseline: Dict,
+    threshold: float = 0.20,
+) -> List[str]:
+    """Gate *current* against *baseline*; returns regression messages.
+
+    A gated ratio metric regresses when it falls more than *threshold*
+    below the baseline value.  Improvements and missing baseline
+    metrics never fail; a non-identical parallel merge always fails.
+    The ``parallel.*`` ratios are only compared when both snapshots ran
+    on the same effective core count — per-core efficiency measured on
+    1 core and on 4 cores are different quantities, and comparing them
+    across heterogeneous runners would manufacture regressions.
+    """
+    current_cores = _lookup(current, "parallel.effective_cores")
+    baseline_cores = _lookup(baseline, "parallel.effective_cores")
+    cores_match = current_cores == baseline_cores
+    problems: List[str] = []
+    for path in GATED_METRICS:
+        if path.startswith("parallel.") and not cores_match:
+            continue
+        base = _lookup(baseline, path)
+        cur = _lookup(current, path)
+        if base is None or cur is None or base <= 0:
+            continue
+        floor = base * (1.0 - threshold)
+        if cur < floor:
+            problems.append(
+                f"{path}: {cur:.3f} < {floor:.3f} "
+                f"(baseline {base:.3f}, threshold {threshold:.0%})"
+            )
+    if not current.get("parallel", {}).get("identical", True):
+        problems.append(
+            "parallel.identical: parallel and serial sweeps "
+            "merged to different results"
+        )
+    return problems
+
+
+def find_baseline(output: str, root: str = ".") -> Optional[str]:
+    """Newest committed ``BENCH_*.json`` other than *output* itself."""
+    output_abs = os.path.abspath(output)
+    candidates = [
+        path
+        for path in glob.glob(os.path.join(root, "BENCH_*.json"))
+        if os.path.abspath(path) != output_abs
+    ]
+
+    def pr_number(path: str) -> int:
+        match = re.search(r"(\d+)", os.path.basename(path))
+        return int(match.group(1)) if match else -1
+
+    candidates.sort(key=pr_number)
+    return candidates[-1] if candidates else None
+
+
+def render_payload(payload: Dict) -> str:
+    fast = payload["fastpath"]
+    par = payload["parallel"]
+    lines = [
+        f"tier-2 bench [{payload['mode']}] scale={payload['scale']} "
+        f"python={payload['fingerprint']['python']} "
+        f"cpus={payload['fingerprint']['cpus']}",
+        f"  fastpath: {fast['workloads']} rocket fig7 runs  "
+        f"traced {fast['traced_wall_s']:.2f}s "
+        f"({fast['traced_runs_per_s']:.1f}/s)  "
+        f"fast {fast['fast_wall_s']:.2f}s "
+        f"({fast['fast_runs_per_s']:.1f}/s)  "
+        f"speedup {fast['speedup']:.2f}x",
+        f"  parallel: {par['runs']} sweep pairs  "
+        f"serial {par['serial_wall_s']:.2f}s  "
+        f"{par['workers']} workers {par['parallel_wall_s']:.2f}s  "
+        f"speedup {par['speedup']:.2f}x  "
+        f"efficiency {par['efficiency']:.2f}  "
+        f"identical={par['identical']} engine={par['engine']}",
+    ]
+    return "\n".join(lines)
+
+
+def write_payload(payload: Dict, output: str) -> None:
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -18,6 +18,7 @@ Mirrors the artifact's ``tma_tool`` commands::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -190,6 +191,35 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from . import bench
+
+    payload = bench.run_benchmarks(quick=args.quick, workers=args.workers,
+                                   inject_slowdown=args.inject_slowdown)
+    print(bench.render_payload(payload))
+    bench.write_payload(payload, args.output)
+    print(f"wrote {args.output}")
+
+    baseline_path = args.baseline
+    if baseline_path == "auto":
+        baseline_path = bench.find_baseline(args.output)
+    if not baseline_path or baseline_path == "none":
+        print("no baseline BENCH_*.json; gate skipped")
+        return 0
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    problems = bench.compare_benchmarks(payload, baseline,
+                                        threshold=args.threshold)
+    if problems:
+        print(f"REGRESSION vs {baseline_path}:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"gate passed vs {baseline_path} "
+          f"(threshold {args.threshold:.0%})")
+    return 0
+
+
 def _cmd_reliability(args: argparse.Namespace) -> int:
     from ..reliability import run_campaign
 
@@ -265,6 +295,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--show-tma", action="store_true")
     _add_common(p_perf)
     p_perf.set_defaults(func=_cmd_perf)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="tier-2 benchmark set + BENCH_*.json regression gate")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI-sized subset of the tier-2 set")
+    p_bench.add_argument("--workers", type=int, default=None,
+                         help="sweep workers (default min(4, cpus))")
+    p_bench.add_argument("--threshold", type=float, default=0.20,
+                         help="allowed fractional regression on gated "
+                              "ratio metrics")
+    p_bench.add_argument("--output", default="BENCH_PR2.json",
+                         help="snapshot to write")
+    p_bench.add_argument("--baseline", default="auto",
+                         help="baseline BENCH_*.json ('auto' picks the "
+                              "newest committed one, 'none' skips)")
+    p_bench.add_argument("--inject-slowdown", type=float, default=0.0,
+                         help="artificial per-run slowdown fraction "
+                              "(gate self-test)")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_rel = sub.add_parser(
         "reliability",

@@ -1,0 +1,320 @@
+"""Parallel sweep engine: the (workload x config) grid across processes.
+
+The paper's evaluation is a grid — Rocket and BOOM configurations
+crossed with SPEC proxies and microbenchmarks — and the cycle-level
+simulation of each pair is independent of every other pair.
+:class:`ParallelSweepRunner` shards that grid across a
+:class:`~concurrent.futures.ProcessPoolExecutor` while keeping every
+guarantee of the serial :class:`~repro.reliability.runner.ResilientRunner`
+it wraps:
+
+- **Deterministic, order-independent merging.**  Each grid pair keeps
+  its index in the canonical (workload-major) sweep order; merged
+  outcomes are re-assembled by index, so the report is bit-identical to
+  a serial sweep no matter which worker finished first.
+- **Per-worker seeding.**  Every shard re-seeds :mod:`random` from
+  the sweep seed and its shard index before running, so any stochastic
+  component a runner grows later stays reproducible under any worker
+  scheduling.
+- **Watchdog timeouts fail the pair, not the pool.**  The per-run
+  ``max_cycles`` budget raises inside the worker, where the resilient
+  runner converts it into a failed :class:`RunOutcome`; the process —
+  and the rest of the sweep — keeps going.
+- **Worker-crash recovery.**  A worker that dies outright (OOM-killed,
+  segfaulted) breaks its pool future; the engine re-runs the dead
+  worker's shard serially in the parent and reports the crash count.
+- **Graceful serial degradation.**  If the grid cannot be pickled or
+  the platform cannot fork a pool, the engine silently runs the exact
+  serial sweep instead and records why.
+
+Cache coordination comes for free: workers share the on-disk result
+cache through :func:`repro.tools.cache.store`'s per-process temp files
+and atomic replace.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..cores.base import BoomConfig, RocketConfig
+from ..reliability.runner import (
+    DEFAULT_MAX_CYCLES,
+    ResilientRunner,
+    RunOutcome,
+    SweepReport,
+)
+
+CoreConfig = Union[RocketConfig, BoomConfig]
+
+#: Test hook: a worker that is about to run this workload dies with
+#: ``os._exit`` instead, simulating a segfaulting/OOM-killed process.
+#: Only honoured inside pool workers, so the serial recovery path (and
+#: plain serial sweeps) complete normally.
+_CRASH_ENV = "REPRO_PARALLEL_CRASH_WORKLOAD"
+
+_IN_WORKER = False
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: marks the process as a worker."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _default_executor_factory(workers: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=workers, initializer=_worker_init)
+
+
+@dataclass(frozen=True)
+class RunnerSpec:
+    """Picklable recipe for rebuilding a :class:`ResilientRunner`.
+
+    Worker processes cannot receive the runner itself (its harness may
+    carry fault injectors or other unpicklable state), so the engine
+    ships this value object instead.  Components that fall outside the
+    spec — custom invariant checkers, fault injectors, backoff sleepers
+    — are deliberately serial-only: campaigns that need them should run
+    through :class:`ResilientRunner` directly.
+    """
+
+    core: str = "boom"
+    increment_mode: str = "adders"
+    mode: str = "baremetal"
+    event_names: Optional[Tuple[str, ...]] = None
+    scale: float = 1.0
+    max_attempts: int = 3
+    max_cycles: Optional[int] = DEFAULT_MAX_CYCLES
+    backoff_base: float = 0.0
+    use_cache: bool = True
+
+    @classmethod
+    def from_runner(cls, runner: ResilientRunner) -> "RunnerSpec":
+        harness = runner.harness
+        event_names = tuple(runner.event_names) if runner.event_names else None
+        return cls(
+            core=harness.core,
+            increment_mode=harness.increment_mode,
+            mode=harness.mode,
+            event_names=event_names,
+            scale=runner.scale,
+            max_attempts=runner.max_attempts,
+            max_cycles=runner.max_cycles,
+            backoff_base=runner.backoff_base,
+            use_cache=runner.use_cache,
+        )
+
+    def build(self) -> ResilientRunner:
+        from ..pmu.harness import PerfHarness
+
+        harness = PerfHarness(
+            core=self.core,
+            increment_mode=self.increment_mode,
+            mode=self.mode,
+        )
+        return ResilientRunner(
+            harness=harness,
+            event_names=self.event_names,
+            scale=self.scale,
+            max_attempts=self.max_attempts,
+            max_cycles=self.max_cycles,
+            backoff_base=self.backoff_base,
+            use_cache=self.use_cache,
+        )
+
+
+#: One grid pair: (canonical index, workload name, core config).
+SweepTask = Tuple[int, str, CoreConfig]
+
+#: What one shard hands back: indexed outcomes + quarantined cache keys.
+ShardResult = Tuple[List[Tuple[int, RunOutcome]], List[str]]
+
+
+def _run_shard(
+    spec: RunnerSpec,
+    shard_index: int,
+    seed: int,
+    tasks: Sequence[SweepTask],
+) -> ShardResult:
+    """Run one shard of the grid (in a pool worker or in the parent).
+
+    Returns ``(indexed outcomes, quarantined cache keys)``; the indices
+    let the parent merge shards deterministically.
+    """
+    random.seed(seed * 1_000_003 + shard_index)
+    crash_workload = os.environ.get(_CRASH_ENV)
+    runner = spec.build()
+    report = SweepReport()
+    indexed: List[Tuple[int, RunOutcome]] = []
+    for index, workload, config in tasks:
+        if _IN_WORKER and crash_workload == workload:
+            os._exit(13)
+        indexed.append((index, runner.run_one(workload, config, report)))
+    return indexed, report.quarantined_keys
+
+
+@dataclass
+class ParallelSweepReport(SweepReport):
+    """A :class:`SweepReport` plus how the grid was executed."""
+
+    engine: str = "serial"  # "parallel" | "serial" | "serial-fallback"
+    workers: int = 1
+    shards: int = 1
+    worker_crashes: int = 0
+    fallback_reason: Optional[str] = None
+    recovered_indices: List[int] = field(default_factory=list)
+
+    def summary(self) -> str:
+        header = (
+            f"engine={self.engine} workers={self.workers} "
+            f"shards={self.shards} crashes={self.worker_crashes}"
+        )
+        if self.fallback_reason:
+            header += f" fallback=[{self.fallback_reason}]"
+        return header + "\n" + super().summary()
+
+
+class ParallelSweepRunner:
+    """Fault-tolerant sweeps, sharded across a process pool.
+
+    ``runner`` supplies the sweep semantics (watchdog budget, retries,
+    cache policy, events, scale); it runs serial shards directly and is
+    distilled into a :class:`RunnerSpec` for pool workers.
+
+    ``executor_factory`` is injectable for tests: it receives the
+    worker count and must return a ``ProcessPoolExecutor``-compatible
+    context manager.  Any failure to build the pool or submit the
+    shards degrades to the serial sweep.
+    """
+
+    def __init__(
+        self,
+        runner: Optional[ResilientRunner] = None,
+        max_workers: Optional[int] = None,
+        seed: int = 0,
+        executor_factory=None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.runner = runner or ResilientRunner()
+        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+        self.seed = seed
+        self.executor_factory = executor_factory or _default_executor_factory
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def build_grid(
+        workloads: Sequence[str],
+        configs: Sequence[CoreConfig],
+    ) -> List[SweepTask]:
+        """The canonical workload-major grid order of the serial sweep."""
+        grid: List[SweepTask] = []
+        for workload in workloads:
+            for config in configs:
+                grid.append((len(grid), workload, config))
+        return grid
+
+    @staticmethod
+    def shard_grid(
+        grid: Sequence[SweepTask],
+        shards: int,
+    ) -> List[List[SweepTask]]:
+        """Round-robin sharding: deterministic and load-balanced (long
+        workloads land in different shards instead of one hot shard)."""
+        return [list(grid[start::shards]) for start in range(shards)]
+
+    # ------------------------------------------------------------------
+
+    def run_grid(
+        self,
+        workloads: Sequence[str],
+        configs: Sequence[CoreConfig],
+    ) -> ParallelSweepReport:
+        """Sweep the grid; parallel when possible, serial otherwise."""
+        grid = self.build_grid(workloads, configs)
+        workers = min(self.max_workers, len(grid)) or 1
+        if workers <= 1:
+            return self._run_serial(grid, engine="serial")
+
+        spec = RunnerSpec.from_runner(self.runner)
+        shards = self.shard_grid(grid, workers)
+        try:
+            # Pre-flight: anything unpicklable (exotic configs, spec
+            # extensions) must surface here, not inside the pool.
+            pickle.dumps((spec, shards))
+        except Exception as exc:  # noqa: BLE001 - any failure degrades
+            reason = f"unpicklable sweep: {type(exc).__name__}: {exc}"
+            return self._run_serial(grid, engine="serial-fallback", reason=reason)
+
+        merged: Dict[int, RunOutcome] = {}
+        quarantined: Dict[int, List[str]] = {}
+        crashed_shards: List[int] = []
+        try:
+            with self.executor_factory(workers) as pool:
+                futures = {}
+                for shard_index, shard in enumerate(shards):
+                    future = pool.submit(
+                        _run_shard,
+                        spec,
+                        shard_index,
+                        self.seed,
+                        shard,
+                    )
+                    futures[future] = shard_index
+                for future, shard_index in futures.items():
+                    try:
+                        indexed, keys = future.result()
+                    except Exception:  # noqa: BLE001 - dead worker
+                        crashed_shards.append(shard_index)
+                        continue
+                    for index, outcome in indexed:
+                        merged[index] = outcome
+                    quarantined[shard_index] = keys
+        except Exception as exc:  # noqa: BLE001 - no pool at all
+            reason = f"no process pool: {type(exc).__name__}: {exc}"
+            return self._run_serial(grid, engine="serial-fallback", reason=reason)
+
+        report = ParallelSweepReport(
+            engine="parallel",
+            workers=workers,
+            shards=len(shards),
+            worker_crashes=len(crashed_shards),
+        )
+        # Recover every pair a dead worker took down with it, serially
+        # and in-process (the crash hook only fires inside workers).
+        for shard_index in sorted(crashed_shards):
+            pending = [t for t in shards[shard_index] if t[0] not in merged]
+            indexed, keys = _run_shard(spec, shard_index, self.seed, pending)
+            for index, outcome in indexed:
+                merged[index] = outcome
+                report.recovered_indices.append(index)
+            quarantined[shard_index] = keys
+
+        report.outcomes = [merged[index] for index, _, _ in grid]
+        for shard_index in sorted(quarantined):
+            report.quarantined_keys.extend(quarantined[shard_index])
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _run_serial(
+        self,
+        grid: Sequence[SweepTask],
+        engine: str,
+        reason: Optional[str] = None,
+    ) -> ParallelSweepReport:
+        """The exact serial sweep, shaped like a parallel report."""
+        report = ParallelSweepReport(
+            engine=engine,
+            workers=1,
+            shards=1,
+            fallback_reason=reason,
+        )
+        for _, workload, config in grid:
+            report.outcomes.append(self.runner.run_one(workload, config, report))
+        return report

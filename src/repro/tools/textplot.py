@@ -8,7 +8,7 @@ so tests can assert on their output.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 _SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
 

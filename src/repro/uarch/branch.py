@@ -76,28 +76,32 @@ class BHT:
 
 
 class BTB:
-    """Small fully-associative branch target buffer with LRU replacement."""
+    """Small fully-associative branch target buffer with LRU replacement.
+
+    Entries live in one insertion-ordered dict (LRU first, MRU last), so
+    lookup/insert/evict are O(1); the BOOM configs carry 512 entries, so
+    the previous list-based recency scan was a per-prediction hot spot.
+    """
 
     def __init__(self, entries: int) -> None:
         self.entries = entries
-        self._order: List[int] = []          # pcs, MRU first
-        self._targets: dict = {}
+        self._targets: dict = {}             # pc -> target, LRU first
 
     def lookup(self, pc: int) -> Optional[int]:
-        target = self._targets.get(pc)
+        targets = self._targets
+        target = targets.get(pc)
         if target is not None:
-            self._order.remove(pc)
-            self._order.insert(0, pc)
+            del targets[pc]                  # re-insert as MRU
+            targets[pc] = target
         return target
 
     def insert(self, pc: int, target: int) -> None:
-        if pc in self._targets:
-            self._order.remove(pc)
-        elif len(self._order) >= self.entries:
-            victim = self._order.pop()
-            del self._targets[victim]
-        self._order.insert(0, pc)
-        self._targets[pc] = target
+        targets = self._targets
+        if pc in targets:
+            del targets[pc]
+        elif len(targets) >= self.entries:
+            del targets[next(iter(targets))]   # evict LRU
+        targets[pc] = target
 
 
 class ReturnAddressStack:

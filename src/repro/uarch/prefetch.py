@@ -18,7 +18,7 @@ latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 #: Confidence threshold before a trained stride issues prefetches.
 CONFIDENCE_THRESHOLD = 2

@@ -20,7 +20,7 @@ _start:
     li t2, 0
     li s0, 0
 outer:
-""" + "\n".join(f"""
+""" + "\n".join("""
     addi t0, t0, 1
     addi t1, t1, 2
     addi t2, t2, 3

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import (TmaInputs, TmaNode, build_tree, compute_level3,
+from repro.core import (TmaInputs, build_tree, compute_level3,
                         compute_tma, render_tree)
 from repro.cores import LARGE_BOOM, ROCKET
 from repro.tools import run_core

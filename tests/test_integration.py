@@ -8,7 +8,7 @@ who wins and in which direction — the reproduction's contract.
 import pytest
 
 from repro.core import compute_tma
-from repro.cores import BoomCore, LARGE_BOOM, ROCKET, RocketCore
+from repro.cores import BoomCore, LARGE_BOOM, ROCKET
 from repro.pmu import (AddWiresCounterBank, DistributedCounterBank,
                        ScalarCounterBank, new_events_for_core)
 from repro.tools import rocket_with_l1d, run_core, run_tma

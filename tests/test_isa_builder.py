@@ -1,7 +1,5 @@
 """Unit tests for the programmatic assembly builder."""
 
-import pytest
-
 from repro.isa import AsmBuilder, execute
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro.cores import (ALL_BOOM_CONFIGS, CONFIGS_BY_NAME, LARGE_BOOM,
                          ROCKET, config_by_name)
 from repro.isa import Instruction, Program, assemble
-from repro.isa.csrs import (CSR_ADDRS, CSR_NAMES, MCOUNTINHIBIT, MCYCLE,
+from repro.isa.csrs import (CSR_ADDRS, CSR_NAMES,
                             mhpmcounter_addr, mhpmevent_addr)
 
 

@@ -1,0 +1,153 @@
+"""Parallel sweep engine: equivalence, crash recovery, degradation.
+
+The engine's contract is that parallelism is *invisible* in the
+results: a sharded sweep must merge to exactly what the serial
+resilient runner produces, pair for pair, and every failure mode —
+timed-out runs, dead workers, unpicklable grids, platforms without
+process pools — must degrade to that same answer.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.cores.configs import ROCKET, SMALL_BOOM
+from repro.pmu.harness import PerfHarness
+from repro.reliability.runner import ResilientRunner
+from repro.tools.parallel import (ParallelSweepRunner, RunnerSpec,
+                                  _CRASH_ENV)
+
+WORKLOADS = ["dhrystone", "median", "qsort", "towers"]
+CONFIGS = [ROCKET, SMALL_BOOM]
+SCALE = 0.3
+
+
+def make_runner(**kwargs):
+    kwargs.setdefault("harness", PerfHarness(core="rocket"))
+    kwargs.setdefault("scale", SCALE)
+    kwargs.setdefault("use_cache", False)
+    return ResilientRunner(**kwargs)
+
+
+def outcome_digest(outcome):
+    measurement = outcome.measurement
+    return (
+        outcome.workload, outcome.config_name, outcome.status,
+        outcome.attempts, outcome.error_class,
+        None if measurement is None else (
+            tuple(sorted(measurement.events.items())),
+            measurement.cycles, measurement.instret, measurement.passes),
+        None if outcome.tma is None else dataclasses.astuple(outcome.tma),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_digests():
+    report = ParallelSweepRunner(runner=make_runner(),
+                                 max_workers=1).run_grid(WORKLOADS,
+                                                         CONFIGS)
+    assert report.engine == "serial"
+    return [outcome_digest(o) for o in report.outcomes]
+
+
+def test_parallel_merges_bit_identical_to_serial(serial_digests):
+    report = ParallelSweepRunner(runner=make_runner(),
+                                 max_workers=4).run_grid(WORKLOADS,
+                                                         CONFIGS)
+    assert report.engine == "parallel"
+    assert report.workers == 4
+    assert report.worker_crashes == 0
+    assert [outcome_digest(o) for o in report.outcomes] == serial_digests
+
+
+def test_parallel_repeats_deterministically():
+    first = ParallelSweepRunner(runner=make_runner(), max_workers=3,
+                                seed=7).run_grid(WORKLOADS, CONFIGS)
+    second = ParallelSweepRunner(runner=make_runner(), max_workers=3,
+                                 seed=7).run_grid(WORKLOADS, CONFIGS)
+    assert [outcome_digest(o) for o in first.outcomes] \
+        == [outcome_digest(o) for o in second.outcomes]
+
+
+def test_worker_crash_recovers_serially(serial_digests, monkeypatch):
+    monkeypatch.setenv(_CRASH_ENV, "qsort")
+    report = ParallelSweepRunner(runner=make_runner(),
+                                 max_workers=4).run_grid(WORKLOADS,
+                                                         CONFIGS)
+    assert report.engine == "parallel"
+    assert report.worker_crashes >= 1
+    assert report.recovered_indices
+    # Recovery re-runs the dead workers' pairs in the parent; the merge
+    # is still bit-identical to the serial sweep.
+    assert [outcome_digest(o) for o in report.outcomes] == serial_digests
+
+
+def test_timeout_kills_the_run_not_the_pool():
+    """A pair that blows its cycle budget fails alone; the rest of the
+    grid still completes in the same (unbroken) pool."""
+    harness = PerfHarness(core="rocket")
+    cycles = {
+        workload: harness.measure(workload, ROCKET, scale=SCALE).cycles
+        for workload in ("coremark", "vvadd")}
+    budget = (min(cycles.values()) + max(cycles.values())) // 2
+    victim = max(cycles, key=cycles.get)
+
+    runner = make_runner(max_cycles=budget, max_attempts=1)
+    report = ParallelSweepRunner(runner=runner, max_workers=2).run_grid(
+        ["coremark", "vvadd"], [ROCKET])
+
+    assert report.engine == "parallel"
+    assert report.worker_crashes == 0
+    by_name = {o.workload: o for o in report.outcomes}
+    assert by_name[victim].status == "failed"
+    assert by_name[victim].error_class == "RunTimeout"
+    survivor = min(cycles, key=cycles.get)
+    assert by_name[survivor].ok
+
+
+def test_serial_fallback_when_pool_unavailable(serial_digests):
+    def no_pool(workers):
+        raise OSError("fork unavailable")
+
+    report = ParallelSweepRunner(runner=make_runner(), max_workers=4,
+                                 executor_factory=no_pool).run_grid(
+                                     WORKLOADS, CONFIGS)
+    assert report.engine == "serial-fallback"
+    assert "fork unavailable" in report.fallback_reason
+    assert [outcome_digest(o) for o in report.outcomes] == serial_digests
+
+
+class UnpicklableRocketConfig(ROCKET.__class__):
+    """Functionally ROCKET, but refuses to cross a process boundary."""
+
+    def __reduce__(self):
+        raise pickle.PicklingError("config cannot be pickled")
+
+
+def test_serial_fallback_on_unpicklable_grid():
+    config = UnpicklableRocketConfig()
+    report = ParallelSweepRunner(runner=make_runner(),
+                                 max_workers=4).run_grid(
+                                     ["dhrystone", "median"], [config])
+    assert report.engine == "serial-fallback"
+    assert "unpicklable" in report.fallback_reason
+    assert all(o.ok for o in report.outcomes)
+
+
+def test_runner_spec_round_trip():
+    runner = make_runner(scale=0.7, max_attempts=2, max_cycles=123_456,
+                         event_names=["slots_issued", "slots_retired"])
+    spec = RunnerSpec.from_runner(runner)
+    rebuilt = pickle.loads(pickle.dumps(spec)).build()
+    assert rebuilt.harness.core == "rocket"
+    assert rebuilt.scale == 0.7
+    assert rebuilt.max_attempts == 2
+    assert rebuilt.max_cycles == 123_456
+    assert rebuilt.event_names == ["slots_issued", "slots_retired"]
+    assert rebuilt.use_cache is False
+
+
+def test_max_workers_validation():
+    with pytest.raises(ValueError):
+        ParallelSweepRunner(max_workers=0)

@@ -3,7 +3,7 @@
 from repro.cores import ROCKET, RocketCore
 from repro.cores.base import RocketConfig
 from repro.isa import assemble, execute
-from repro.trace import (CycleTracer, capture_trace,
+from repro.trace import (capture_trace,
                          check_fetch_bubble_formula, rocket_tma_bundle)
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import (BoomTmaModel, RocketTmaModel, TOP_LEVEL, TmaInputs,
+from repro.core import (BoomTmaModel, RocketTmaModel, TmaInputs,
                         compute_tma)
 
 

@@ -1,7 +1,5 @@
 """Unit tests for the result cache and the tma_tool pipeline."""
 
-import os
-
 import pytest
 
 from repro.cores import LARGE_BOOM, ROCKET

@@ -5,8 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.uarch.cache import (Cache, CacheConfig, DRAM_LATENCY, L1D_16K,
-                               L1D_32K, MemorySystem, MSHRFile,
-                               NonBlockingCache)
+                               L1D_32K, MemorySystem, MSHRFile)
 
 
 def small_cache(ways: int = 2, sets: int = 4,

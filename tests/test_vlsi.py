@@ -4,7 +4,7 @@ import pytest
 
 from repro.cores import (ALL_BOOM_CONFIGS, GIGA_BOOM, LARGE_BOOM,
                          MEDIUM_BOOM, MEGA_BOOM, SMALL_BOOM)
-from repro.vlsi import (ARCHITECTURES, CLOCK_PERIOD_NS, PhysicalFlow,
+from repro.vlsi import (CLOCK_PERIOD_NS,
                         event_source_groups, floorplan, paper_calibration,
                         single_lane_wire_reduction, structure_for, sweep,
                         tile_area, tile_modules)
