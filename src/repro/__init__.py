@@ -14,6 +14,8 @@ The public API mirrors the paper's full system stack:
 - :mod:`repro.vlsi` — the physical-design overhead model.
 - :mod:`repro.workloads` — microbenchmarks and SPEC CPU2017 proxies.
 - :mod:`repro.tools` — the one-call ``tma_tool`` pipeline.
+- :mod:`repro.service` — the queue-driven analysis service (scheduling,
+  dedup, backpressure, live metrics) behind a stdlib JSON HTTP API.
 
 Quickstart::
 
@@ -24,4 +26,4 @@ Quickstart::
     print(report.render())
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

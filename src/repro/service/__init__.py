@@ -1,0 +1,52 @@
+"""Queue-driven TMA analysis service.
+
+Turns the one-shot CLI pipeline into a long-running service: clients
+submit :class:`TMAJob` analyses over a stdlib JSON HTTP API (or
+in-process), a bounded priority scheduler coalesces duplicates and
+applies backpressure, a crash-surviving worker pool executes through
+the resilient runner, repeat requests are served O(1) from the
+checksummed disk cache, and live counters/gauges/latency histograms
+are one ``GET /metrics`` away.  See ``docs/service.md``.
+
+Quickstart (in-process)::
+
+    from repro.service import TMAService
+
+    service = TMAService(workers=2, executor="thread").start()
+    receipt = service.submit_payload({"workload": "vvadd", "scale": 0.2})
+    ...
+    service.drain()
+
+Or over HTTP: ``repro-tma serve`` + ``repro-tma submit`` /
+:class:`ServiceClient`.
+"""
+
+from .app import TMAService
+from .client import JobRejected, ServiceClient, ServiceError
+from .job import JobRecord, JobValidationError, TMAJob, outcome_payload
+from .metrics import Histogram, MetricsRegistry
+from .scheduler import JobScheduler, SubmitReceipt
+from .server import ServiceServer, make_server, serve_in_thread
+from .store import ResultStore
+from .workers import WorkerPool, execute_job
+
+__all__ = [
+    "Histogram",
+    "JobRecord",
+    "JobRejected",
+    "JobScheduler",
+    "JobValidationError",
+    "MetricsRegistry",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "SubmitReceipt",
+    "TMAJob",
+    "TMAService",
+    "WorkerPool",
+    "execute_job",
+    "make_server",
+    "outcome_payload",
+    "serve_in_thread",
+]

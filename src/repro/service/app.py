@@ -1,0 +1,367 @@
+"""`TMAService`: the queue-driven analysis service facade.
+
+Wires the subsystem together — admission through
+:class:`~repro.service.scheduler.JobScheduler`, O(1) repeat-request
+serving through :class:`~repro.service.store.ResultStore`, execution
+through :class:`~repro.service.workers.WorkerPool`, observability
+through :class:`~repro.service.metrics.MetricsRegistry` — behind a
+small, thread-safe API the HTTP layer (and tests) call directly:
+
+``submit`` / ``status`` / ``metrics_snapshot`` / ``healthz`` /
+``drain``.
+
+Lifecycle: a single dispatcher thread pulls primaries off the
+scheduler only when a worker slot is free (so queue depth and
+backpressure stay meaningful — the executor's internal queue is never
+used as a second, unbounded buffer), submits them to the pool, and
+resolves completions:
+
+- success → result payload fans out to the primary and every coalesced
+  follower (one execution, N completions);
+- job-level failure → the failure fans out the same way;
+- worker crash → the pool is rebuilt and the job re-queued at the
+  front (bounded by ``max_requeues``), with the crash test hook
+  disabled for the retry.
+
+``drain()`` closes admission, lets in-flight work finish, and
+persists any still-queued accepted jobs to disk via the result store —
+accepted jobs either complete or are durably re-queued; none are
+silently lost.  ``start(resume=True)`` resubmits persisted jobs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from .job import (DEFAULT_PRIORITY, MAX_PRIORITY, JobRecord,
+                  JobValidationError, TMAJob, outcome_payload)
+from .metrics import MetricsRegistry
+from .scheduler import JobScheduler, SubmitReceipt
+from .store import ResultStore
+from .workers import WorkerPool
+
+#: Fallback retry-after hint before any latency samples exist.
+_DEFAULT_RETRY_AFTER = 1.0
+
+
+class TMAService:
+    """The long-running, queue-driven TMA analysis service."""
+
+    def __init__(self,
+                 workers: int = 2,
+                 queue_capacity: int = 256,
+                 executor: str = "process",
+                 executor_factory=None,
+                 max_requeues: int = 2,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics or MetricsRegistry()
+        self.scheduler = JobScheduler(capacity=queue_capacity)
+        self.store = ResultStore()
+        self.pool = WorkerPool(workers=workers, style=executor,
+                               factory=executor_factory)
+        self.max_requeues = max_requeues
+        self._lock = threading.Lock()
+        self._records: Dict[str, JobRecord] = {}
+        self._sequence = 0
+        self._in_flight = 0
+        self._idle = threading.Condition(self._lock)
+        self._slots = threading.Semaphore(workers)
+        self._dispatcher: Optional[threading.Thread] = None
+        self._running = False
+        self._state = "idle"  # idle | serving | draining | drained
+        self.started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def start(self, resume: bool = True) -> "TMAService":
+        """Boot the dispatcher; optionally resubmit persisted jobs."""
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+            self._state = "serving"
+            self.started_at = time.time()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="tma-dispatcher", daemon=True)
+        self._dispatcher.start()
+        if resume:
+            for job in self.store.load_pending():
+                receipt = self.submit_job(job, client="resume")
+                if receipt.accepted:
+                    self.metrics.inc("jobs_resumed")
+        return self
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            acquired = self._slots.acquire(timeout=0.1)
+            with self._lock:
+                if not self._running and self.scheduler.queue_depth == 0:
+                    if acquired:
+                        self._slots.release()
+                    return
+            if not acquired:
+                continue
+            record = self.scheduler.next_job(timeout=0.1)
+            if record is None:
+                self._slots.release()
+                with self._lock:
+                    stop = not self._running
+                if stop and self.scheduler.queue_depth == 0:
+                    return
+                continue
+            self._launch(record)
+
+    def _launch(self, record: JobRecord) -> None:
+        record.started_at = time.time()
+        with self._lock:
+            self._in_flight += 1
+        self.metrics.inc("jobs_executed")
+        allow_crash_hook = record.requeues == 0
+        try:
+            future = self.pool.submit(record.job.runner_spec(),
+                                      record.job.workload,
+                                      record.job.config,
+                                      allow_crash_hook)
+        except Exception as exc:  # noqa: BLE001 - submission itself died
+            self._finish_execution(record, error=exc)
+            return
+        future.add_done_callback(
+            lambda fut, rec=record: self._on_future_done(rec, fut))
+
+    def _on_future_done(self, record: JobRecord, future) -> None:
+        error = future.exception()
+        if error is not None:
+            self._finish_execution(record, error=error)
+            return
+        self._finish_execution(record, outcome=future.result())
+
+    def _finish_execution(self, record: JobRecord,
+                          outcome=None, error: Optional[BaseException] = None
+                          ) -> None:
+        try:
+            if error is not None and self.pool.note_broken(error):
+                self.metrics.inc("worker_crashes")
+                if record.requeues < self.max_requeues:
+                    self.metrics.inc("jobs_requeued")
+                    self.scheduler.requeue(record)
+                    return
+                self._resolve(record, state="failed",
+                              error=f"worker crashed "
+                                    f"{record.requeues + 1} times: {error}")
+                return
+            if error is not None:
+                self._resolve(record, state="failed",
+                              error=f"{type(error).__name__}: {error}")
+                return
+            payload = outcome_payload(outcome)
+            state = "done" if outcome.ok else "failed"
+            self._resolve(record, state=state,
+                          result=payload,
+                          error=None if outcome.ok else outcome.error)
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+                self._idle.notify_all()
+            self._slots.release()
+            self._refresh_gauges()
+
+    def _resolve(self, record: JobRecord, state: str,
+                 result: Optional[Dict[str, Any]] = None,
+                 error: Optional[str] = None) -> None:
+        """Complete a primary and fan its result out to followers."""
+        followers = self.scheduler.resolve(record)
+        now = time.time()
+        for target in [record] + followers:
+            target.state = state
+            target.finished_at = now
+            target.result = result
+            target.error = error
+            latency = target.latency()
+            if latency is not None:
+                self.metrics.observe("job_latency_seconds", latency)
+            if record.started_at is not None and target is record:
+                self.metrics.observe("exec_seconds",
+                                     now - record.started_at)
+            self.metrics.inc("jobs_completed" if state == "done"
+                             else "jobs_failed")
+
+    # ------------------------------------------------------------------
+    # Client-facing API
+
+    def submit_payload(self, payload: Dict[str, Any]) -> SubmitReceipt:
+        """Admit a raw JSON submission: ``{job fields..., client, priority}``."""
+        if not isinstance(payload, dict):
+            raise JobValidationError("submission must be a JSON object")
+        body = dict(payload)
+        client = str(body.pop("client", "anonymous")) or "anonymous"
+        try:
+            priority = int(body.pop("priority", DEFAULT_PRIORITY))
+        except (TypeError, ValueError):
+            raise JobValidationError("priority must be an integer") from None
+        if not (0 <= priority <= MAX_PRIORITY):
+            raise JobValidationError(
+                f"priority must be in [0, {MAX_PRIORITY}]")
+        job = TMAJob.from_payload(body)
+        return self.submit_job(job, client=client, priority=priority)
+
+    def submit_job(self, job: TMAJob, client: str = "anonymous",
+                   priority: int = DEFAULT_PRIORITY) -> SubmitReceipt:
+        job.validate()
+        record = self._new_record(job, client, priority)
+        self.metrics.inc("jobs_submitted")
+
+        # O(1) fast path: an exact cached result short-circuits the
+        # queue and the pool entirely.
+        cached = self.store.lookup(job)
+        if cached is not None:
+            now = time.time()
+            record.state = "done"
+            record.started_at = now
+            record.finished_at = now
+            record.result = cached
+            self.metrics.inc("jobs_accepted")
+            self.metrics.inc("cache_hits")
+            self.metrics.inc("jobs_completed")
+            latency = record.latency()
+            if latency is not None:
+                self.metrics.observe("job_latency_seconds", latency)
+            self._refresh_gauges()
+            return SubmitReceipt(record=record, accepted=True,
+                                 queue_depth=self.scheduler.queue_depth)
+
+        receipt = self.scheduler.submit(record)
+        if receipt.accepted:
+            self.metrics.inc("jobs_accepted")
+            if receipt.deduped:
+                self.metrics.inc("dedup_hits")
+        else:
+            self.metrics.inc("jobs_rejected")
+            receipt.retry_after = self._retry_after_estimate()
+        self._refresh_gauges()
+        return receipt
+
+    def _new_record(self, job: TMAJob, client: str,
+                    priority: int) -> JobRecord:
+        with self._lock:
+            self._sequence += 1
+            record = JobRecord(id=f"job-{self._sequence:06d}", job=job,
+                               client=client, priority=priority)
+            self._records[record.id] = record
+            return record
+
+    def status(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            record = self._records.get(job_id)
+        return record.to_payload() if record else None
+
+    def records(self) -> List[JobRecord]:
+        with self._lock:
+            return list(self._records.values())
+
+    def _retry_after_estimate(self) -> float:
+        """Seconds until a queue slot should free up under current load."""
+        mean = self.metrics.histogram_mean("exec_seconds")
+        if mean <= 0:
+            return _DEFAULT_RETRY_AFTER
+        depth = self.scheduler.queue_depth + self.in_flight
+        return round(max(0.05, mean * depth / self.pool.workers), 3)
+
+    # ------------------------------------------------------------------
+    # Observability
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def _refresh_gauges(self) -> None:
+        self.metrics.set_gauge("queue_depth", self.scheduler.queue_depth)
+        self.metrics.set_gauge("in_flight", self.in_flight)
+        self.metrics.set_gauge("draining",
+                               1.0 if self._state in ("draining", "drained")
+                               else 0.0)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        self._refresh_gauges()
+        snapshot = self.metrics.snapshot()
+        snapshot["state"] = self._state
+        if self.started_at is not None:
+            snapshot["uptime_seconds"] = round(
+                time.time() - self.started_at, 3)
+        return snapshot
+
+    def healthz(self) -> Dict[str, Any]:
+        with self._lock:
+            state = self._state
+        return {
+            "status": "ok" if state == "serving" else state,
+            "state": state,
+            "queue_depth": self.scheduler.queue_depth,
+            "in_flight": self.in_flight,
+            "workers": self.pool.workers,
+            "executor": self.pool.style,
+        }
+
+    # ------------------------------------------------------------------
+    # Drain and shutdown
+
+    def drain(self, timeout: float = 30.0) -> Dict[str, Any]:
+        """Graceful shutdown: finish what we can, persist the rest.
+
+        Closes admission immediately, waits up to ``timeout`` seconds
+        for the queue and in-flight jobs to finish, then persists any
+        still-queued accepted jobs (and marks their records
+        ``requeued``).  Returns a drain report with the persisted
+        count — callers asserting zero-loss check
+        ``completed + failed + persisted == accepted``.
+        """
+        with self._lock:
+            if self._state in ("draining", "drained"):
+                return {"state": self._state, "persisted": 0}
+            self._state = "draining"
+        self.scheduler.close()
+        self._refresh_gauges()
+
+        deadline = time.time() + timeout
+        with self._idle:
+            while (self._in_flight > 0 or self.scheduler.queue_depth > 0):
+                remaining = deadline - time.time()
+                if remaining <= 0:
+                    break
+                self._idle.wait(min(remaining, 0.1))
+
+        # Whatever is still queued gets durably persisted; whatever is
+        # still in flight gets a short grace period from shutdown(wait).
+        leftovers = self.scheduler.drain_queued()
+        persisted_jobs: List[TMAJob] = []
+        for record in leftovers:
+            followers = self.scheduler.resolve(record)
+            persisted_jobs.append(record.job)
+            for target in [record] + followers:
+                target.state = "requeued"
+                self.metrics.inc("jobs_persisted")
+        if persisted_jobs:
+            self.store.persist_pending(persisted_jobs)
+
+        with self._lock:
+            self._running = False
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5.0)
+        self.pool.shutdown(wait=True)
+        with self._lock:
+            self._state = "drained"
+        self._refresh_gauges()
+        return {
+            "state": "drained",
+            "persisted": len(persisted_jobs),
+            "completed": self.metrics.counter("jobs_completed"),
+            "failed": self.metrics.counter("jobs_failed"),
+            "accepted": self.metrics.counter("jobs_accepted"),
+        }
+
+    def stop(self) -> None:
+        """Hard stop for tests: drain with a tiny timeout."""
+        self.drain(timeout=0.5)

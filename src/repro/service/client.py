@@ -1,0 +1,107 @@
+"""Thin Python client for the analysis service's JSON API.
+
+Stdlib-only (:mod:`urllib.request`).  The client mirrors the service's
+backpressure contract: a 429 raises :class:`JobRejected` carrying the
+server's ``retry_after`` hint, and :meth:`ServiceClient.submit` can
+optionally honour it for you (``retries > 0``), which is what the CLI
+and the smoke harness use to push a burst through a bounded queue.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response that is not backpressure (4xx/5xx)."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class JobRejected(ServiceError):
+    """HTTP 429: the queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(status, payload)
+        self.retry_after = float(payload.get("retry_after", 1.0))
+
+
+class ServiceClient:
+    """Submit/poll helper bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except ValueError:
+                payload = {"error": str(exc)}
+            if exc.code == 429:
+                raise JobRejected(exc.code, payload) from None
+            raise ServiceError(exc.code, payload) from None
+        except urllib.error.URLError as exc:
+            # Connection-level failure (refused, DNS, timeout): status 0.
+            raise ServiceError(0, {"error": str(exc.reason)}) from None
+
+    # ------------------------------------------------------------------
+
+    def submit(self, workload: str, retries: int = 0,
+               **fields: Any) -> Dict[str, Any]:
+        """POST /jobs; optionally retry (honouring Retry-After) on 429."""
+        body = {"workload": workload, **fields}
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/jobs", body)
+            except JobRejected as rejected:
+                if attempt >= retries:
+                    raise
+                attempt += 1
+                time.sleep(min(rejected.retry_after, 2.0))
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state (or timeout)."""
+        deadline = time.time() + timeout
+        while True:
+            payload = self.status(job_id)
+            if payload["state"] in ("done", "failed", "rejected", "requeued"):
+                return payload
+            if time.time() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {payload['state']!r} "
+                    f"after {timeout:.1f}s")
+            time.sleep(poll)
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def drain(self) -> Dict[str, Any]:
+        return self._request("POST", "/admin/drain")

@@ -1,0 +1,236 @@
+"""Typed job model for the TMA analysis service.
+
+A :class:`TMAJob` is the unit of work a client submits: one
+workload × scale × core-config measurement, plus the harness options
+(counter architecture, baremetal/linux mode, explicit event list) and
+execution policy (cache use, watchdog budget).  Jobs are value objects
+with a canonical :meth:`TMAJob.job_key` built on
+:func:`repro.tools.cache.cache_key`, so two requests for the same
+analysis — regardless of submitting client or priority — share one key
+and can be coalesced by the scheduler and served by the result store.
+
+:class:`JobRecord` is the service-side lifecycle wrapper: identity,
+client, priority, state machine, timestamps, attempts, and the JSON
+result payload handed back through the API.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..cores import CONFIGS_BY_NAME, config_by_name
+from ..pmu.csr import INCREMENT_MODES
+from ..reliability.runner import DEFAULT_MAX_CYCLES, RunOutcome
+from ..tools.cache import cache_key
+from ..tools.pool import RunnerSpec
+from ..workloads import workload_names
+
+#: Job lifecycle states.  ``queued -> running -> done|failed`` is the
+#: happy path; ``rejected`` marks backpressure refusals (never entered
+#: the queue) and ``requeued`` marks jobs durably persisted by a drain.
+JOB_STATES = ("queued", "running", "done", "failed", "rejected", "requeued")
+
+#: Priorities are small ints, 0 = most urgent.
+DEFAULT_PRIORITY = 1
+MAX_PRIORITY = 9
+
+
+class JobValidationError(ValueError):
+    """A submitted job payload failed validation (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class TMAJob:
+    """One requested analysis: workload × scale × config × options."""
+
+    workload: str
+    config: str = "large-boom"
+    scale: float = 1.0
+    increment_mode: str = "adders"
+    mode: str = "baremetal"
+    events: Optional[Tuple[str, ...]] = None
+    use_cache: bool = True
+    max_cycles: Optional[int] = DEFAULT_MAX_CYCLES
+
+    def validate(self) -> None:
+        if self.workload not in workload_names():
+            raise JobValidationError(f"unknown workload {self.workload!r}")
+        if self.config not in CONFIGS_BY_NAME:
+            raise JobValidationError(
+                f"unknown config {self.config!r}; "
+                f"choose from {sorted(CONFIGS_BY_NAME)}")
+        if not (0 < self.scale <= 10.0):
+            raise JobValidationError(
+                f"scale must be in (0, 10], got {self.scale}")
+        if self.increment_mode not in INCREMENT_MODES:
+            raise JobValidationError(
+                f"unknown increment mode {self.increment_mode!r}")
+        if self.mode not in ("baremetal", "linux"):
+            raise JobValidationError(f"unknown mode {self.mode!r}")
+        if self.max_cycles is not None and self.max_cycles < 1:
+            raise JobValidationError("max_cycles must be >= 1 or null")
+
+    def config_obj(self):
+        return config_by_name(self.config)
+
+    def job_key(self) -> str:
+        """Canonical dedup/store key for this analysis.
+
+        Reuses the disk cache's (fingerprint, workload, scale, config)
+        key and folds in the harness options that change what a
+        measurement returns, so e.g. a ``distributed``-counter request
+        never coalesces with an exact ``adders`` one.
+        """
+        base = cache_key(self.workload, self.scale, self.config_obj())
+        digest = hashlib.sha256(base.encode())
+        digest.update(self.increment_mode.encode())
+        digest.update(self.mode.encode())
+        digest.update(repr(self.events).encode())
+        return digest.hexdigest()[:24]
+
+    def cache_key(self) -> str:
+        """Key of the underlying core-result disk-cache entry."""
+        return cache_key(self.workload, self.scale, self.config_obj())
+
+    def runner_spec(self) -> RunnerSpec:
+        return RunnerSpec(
+            core=self.config_obj().core,
+            increment_mode=self.increment_mode,
+            mode=self.mode,
+            event_names=self.events,
+            scale=self.scale,
+            max_cycles=self.max_cycles,
+            use_cache=self.use_cache,
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "config": self.config,
+            "scale": self.scale,
+            "increment_mode": self.increment_mode,
+            "mode": self.mode,
+            "events": list(self.events) if self.events else None,
+            "use_cache": self.use_cache,
+            "max_cycles": self.max_cycles,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "TMAJob":
+        if not isinstance(payload, dict):
+            raise JobValidationError("job payload must be a JSON object")
+        if "workload" not in payload:
+            raise JobValidationError("job payload requires 'workload'")
+        known = {"workload", "config", "scale", "increment_mode", "mode",
+                 "events", "use_cache", "max_cycles"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise JobValidationError(f"unknown job fields: {unknown}")
+        events = payload.get("events")
+        if events is not None:
+            if (not isinstance(events, (list, tuple))
+                    or not all(isinstance(e, str) for e in events)):
+                raise JobValidationError("'events' must be a string list")
+            events = tuple(events)
+        try:
+            job = cls(
+                workload=str(payload["workload"]),
+                config=str(payload.get("config", "large-boom")),
+                scale=float(payload.get("scale", 1.0)),
+                increment_mode=str(payload.get("increment_mode", "adders")),
+                mode=str(payload.get("mode", "baremetal")),
+                events=events,
+                use_cache=bool(payload.get("use_cache", True)),
+                max_cycles=(None if payload.get("max_cycles") is None
+                            else int(payload["max_cycles"])),
+            )
+        except (TypeError, ValueError) as exc:
+            raise JobValidationError(f"malformed job payload: {exc}") from exc
+        job.validate()
+        return job
+
+
+def outcome_payload(outcome: RunOutcome,
+                    from_cache: bool = False) -> Dict[str, Any]:
+    """JSON-ready result summary for one finished execution."""
+    payload: Dict[str, Any] = {
+        "status": outcome.status,
+        "attempts": outcome.attempts,
+        "from_cache": from_cache,
+    }
+    if outcome.error_class:
+        payload["error_class"] = outcome.error_class
+        payload["error"] = outcome.error
+    measurement = outcome.measurement
+    if measurement is not None:
+        payload["cycles"] = measurement.cycles
+        payload["instret"] = measurement.instret
+        payload["ipc"] = round(measurement.ipc, 6)
+    tma = outcome.tma
+    if tma is not None:
+        payload["tma"] = {
+            "level1": {k: round(v, 6) for k, v in tma.level1.items()},
+            "level2": {k: round(v, 6) for k, v in tma.level2.items()},
+            "dominant": tma.dominant_class(),
+        }
+    return payload
+
+
+@dataclass
+class JobRecord:
+    """Service-side lifecycle of one submitted job."""
+
+    id: str
+    job: TMAJob
+    client: str = "anonymous"
+    priority: int = DEFAULT_PRIORITY
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    requeues: int = 0
+    #: Primary record id this (duplicate) submission coalesced onto,
+    #: or None when this record is itself the executing primary.
+    coalesced_with: Optional[str] = None
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+
+    @property
+    def job_key(self) -> str:
+        return self.job.job_key()
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed", "rejected")
+
+    def latency(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "job": self.job.to_payload(),
+            "job_key": self.job_key,
+            "client": self.client,
+            "priority": self.priority,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "requeues": self.requeues,
+        }
+        if self.coalesced_with:
+            payload["coalesced_with"] = self.coalesced_with
+        if self.error:
+            payload["error"] = self.error
+        if self.result is not None:
+            payload["result"] = self.result
+        latency = self.latency()
+        if latency is not None:
+            payload["latency_seconds"] = round(latency, 6)
+        return payload

@@ -1,0 +1,119 @@
+"""Result store: O(1) repeat-request serving plus durable requeue.
+
+The store layers the service onto :mod:`repro.tools.cache` — the
+checksummed, atomically-written, size-bounded disk cache of core
+results.  A repeat request whose underlying core result is already on
+disk is answered straight from the store (TMA recomputed from the
+cached :class:`~repro.cores.base.CoreResult`, which is cheap) without
+ever touching the worker pool.
+
+Serving from the core-result cache is only *exact* for the default
+harness options: the ``adders`` counter architecture is an exact
+popcount (PMU readings equal the core's own totals) and ``baremetal``
+adds no measurement passes.  Jobs that ask for ``classic`` /
+``distributed`` counters or ``linux`` mode measure through multi-pass
+or perturbed harness paths, so those always execute.
+
+The store also owns the drain persistence file: accepted jobs that a
+shutdown could not finish are written (atomically) to
+``pending-jobs.json`` next to the cache entries, and a restarting
+service resubmits them — accepted work is never silently lost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..core.tma import compute_tma
+from ..reliability.runner import RunOutcome
+from ..tools import cache
+from .job import TMAJob, outcome_payload
+
+#: Drain-persistence file name (lives inside the cache directory so
+#: ``REPRO_CACHE_DIR`` isolates it along with the results).
+PENDING_FILE = "pending-jobs.json"
+
+
+class ResultStore:
+    """Cache-backed result serving and pending-job persistence."""
+
+    def pending_path(self) -> Path:
+        return cache.cache_dir() / PENDING_FILE
+
+    # ------------------------------------------------------------------
+    # Repeat-request serving
+
+    @staticmethod
+    def servable(job: TMAJob) -> bool:
+        """True when the disk cache is an exact stand-in for a run."""
+        return (job.use_cache
+                and job.increment_mode == "adders"
+                and job.mode == "baremetal"
+                and job.events is None)
+
+    def lookup(self, job: TMAJob) -> Optional[Dict[str, Any]]:
+        """Result payload for *job* if served straight from the cache."""
+        if not self.servable(job):
+            return None
+        result = cache.load(job.cache_key())
+        if result is None:
+            return None
+        tma = compute_tma(result)
+        outcome = RunOutcome(workload=job.workload,
+                             config_name=result.config_name,
+                             status="ok", attempts=0)
+        payload = outcome_payload(outcome, from_cache=True)
+        payload["cycles"] = result.cycles
+        payload["instret"] = result.instret
+        payload["ipc"] = round(result.ipc, 6)
+        payload["tma"] = {
+            "level1": {k: round(v, 6) for k, v in tma.level1.items()},
+            "level2": {k: round(v, 6) for k, v in tma.level2.items()},
+            "dominant": tma.dominant_class(),
+        }
+        return payload
+
+    # ------------------------------------------------------------------
+    # Durable requeue across restarts
+
+    def persist_pending(self, jobs: List[TMAJob]) -> Path:
+        """Atomically write undone-but-accepted jobs for the next boot."""
+        path = self.pending_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"version": 1,
+                    "jobs": [job.to_payload() for job in jobs]}
+        tmp_path = path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+            os.replace(tmp_path, path)
+        finally:
+            if tmp_path.exists():
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+        return path
+
+    def load_pending(self) -> List[TMAJob]:
+        """Read and consume the persisted pending-job file, if any."""
+        path = self.pending_path()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return []
+        jobs: List[TMAJob] = []
+        for payload in document.get("jobs", []):
+            try:
+                jobs.append(TMAJob.from_payload(payload))
+            except ValueError:
+                continue  # a stale workload/config name: drop, don't crash
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return jobs

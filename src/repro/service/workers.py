@@ -1,0 +1,122 @@
+"""Worker pool: job execution with crash isolation and recovery.
+
+Jobs execute through :class:`~repro.reliability.runner.ResilientRunner`
+(watchdog, invariant checks, bounded retry, cache quarantine) rebuilt
+from a picklable :class:`~repro.tools.pool.RunnerSpec` inside whatever
+executor the deployment chose — ``process`` (crash isolation, true
+parallelism), ``thread``, or ``inline`` (see
+:mod:`repro.tools.pool`, shared with the batch sweep engine).
+
+A worker that dies outright (OOM-killed, segfaulted) breaks the whole
+:class:`~concurrent.futures.ProcessPoolExecutor`; the pool detects the
+broken executor, rebuilds it, and reports the crash so the service can
+re-queue the victim job.  The ``REPRO_SERVICE_CRASH_WORKLOAD`` test
+hook mirrors the sweep engine's: a pool worker about to execute that
+workload exits hard instead — but only on a job's first execution
+(re-queued jobs run with the hook disabled), so recovery is testable
+deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import BrokenExecutor, Future
+from typing import Optional
+
+from ..cores import config_by_name
+from ..reliability.runner import RunOutcome
+from ..tools.pool import (EXECUTOR_FACTORIES, ExecutorFactory, RunnerSpec,
+                          executor_factory, in_worker)
+
+#: Test hook: a pool worker about to execute this workload dies with
+#: ``os._exit``, simulating a segfaulting/OOM-killed worker process.
+CRASH_ENV = "REPRO_SERVICE_CRASH_WORKLOAD"
+
+
+def execute_job(spec: RunnerSpec, workload: str, config_name: str,
+                allow_crash_hook: bool = True) -> RunOutcome:
+    """Run one job (in a pool worker or inline) and return its outcome."""
+    if (allow_crash_hook and in_worker()
+            and os.environ.get(CRASH_ENV) == workload):
+        os._exit(13)
+    config = config_by_name(config_name)
+    runner = spec.build()
+    return runner.run_one(workload, config)
+
+
+class WorkerPool:
+    """An executor that survives worker crashes.
+
+    ``style`` picks a factory from
+    :data:`repro.tools.pool.EXECUTOR_FACTORIES`; tests may inject a
+    custom ``factory`` instead (it receives the worker count and must
+    return an executor with ``submit``/``shutdown``).
+    """
+
+    def __init__(self, workers: int = 2, style: str = "process",
+                 factory: Optional[ExecutorFactory] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if factory is None and style not in EXECUTOR_FACTORIES:
+            raise ValueError(
+                f"unknown executor style {style!r}; "
+                f"choose from {sorted(EXECUTOR_FACTORIES)}")
+        self.workers = workers
+        self.style = style
+        self._factory = factory or executor_factory(style)
+        self._lock = threading.Lock()
+        self._executor = None
+        self.rebuilds = 0
+
+    def _ensure_executor(self):
+        with self._lock:
+            if self._executor is None:
+                self._executor = self._factory(self.workers)
+            return self._executor
+
+    def submit(self, spec: RunnerSpec, workload: str, config_name: str,
+               allow_crash_hook: bool = True) -> Future:
+        executor = self._ensure_executor()
+        try:
+            return executor.submit(execute_job, spec, workload, config_name,
+                                   allow_crash_hook)
+        except (BrokenExecutor, RuntimeError):
+            # The pool broke between jobs (a worker died idle, or a
+            # previous crash poisoned it): rebuild once and resubmit.
+            self._rebuild(executor)
+            executor = self._ensure_executor()
+            return executor.submit(execute_job, spec, workload, config_name,
+                                   allow_crash_hook)
+
+    def _rebuild(self, broken) -> None:
+        with self._lock:
+            if self._executor is not broken:
+                return  # someone else already swapped it out
+            self._executor = None
+            self.rebuilds += 1
+        try:
+            broken.shutdown(wait=False)
+        except Exception:  # noqa: BLE001 - broken pools may refuse politely
+            pass
+
+    def note_broken(self, future_exception: BaseException) -> bool:
+        """Classify a job failure; rebuild the pool if it was a crash.
+
+        Returns True when the exception means the *worker* died (the
+        job itself is innocent and should be re-queued) rather than the
+        job failing on its own merits.
+        """
+        if not isinstance(future_exception, BrokenExecutor):
+            return False
+        with self._lock:
+            broken = self._executor
+        if broken is not None:
+            self._rebuild(broken)
+        return True
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)

@@ -13,6 +13,16 @@ same conditions strictly, raising
 :class:`~repro.isa.errors.CacheIntegrityError` so the resilient runner
 can quarantine poisoned entries (verify, delete, re-run) instead of
 serving them.
+
+Configuration is environment-driven so service instances and CI runs
+can isolate their stores:
+
+- ``REPRO_CACHE_DIR`` relocates the cache directory (:func:`cache_dir`);
+- ``REPRO_CACHE_LIMIT_BYTES`` / ``REPRO_CACHE_LIMIT_ENTRIES`` bound the
+  store's size — :func:`store` evicts least-recently-used entries
+  (:func:`load` touches hits) until both limits hold, so the cache
+  never grows without bound.  Unset limits mean unlimited, matching the
+  historical behaviour.
 """
 
 from __future__ import annotations
@@ -20,9 +30,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from ..cores.base import BoomConfig, CoreResult, RocketConfig
 from ..isa.errors import CacheIntegrityError
@@ -30,6 +40,8 @@ from ..uarch.branch import PredictorStats
 from ..uarch.cache import CacheStats
 
 _CACHE_ENV = "REPRO_CACHE_DIR"
+_LIMIT_BYTES_ENV = "REPRO_CACHE_LIMIT_BYTES"
+_LIMIT_ENTRIES_ENV = "REPRO_CACHE_LIMIT_ENTRIES"
 _DEFAULT_CACHE = Path(__file__).resolve().parents[3] / ".cache" / "results"
 
 _FINGERPRINT_MODULES = (
@@ -61,7 +73,29 @@ def model_fingerprint() -> str:
 
 
 def cache_dir() -> Path:
+    """The store's directory (``REPRO_CACHE_DIR`` overrides the default)."""
     return Path(os.environ.get(_CACHE_ENV, _DEFAULT_CACHE))
+
+
+def _env_limit(name: str) -> Optional[int]:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+def cache_limit_bytes() -> Optional[int]:
+    """Byte budget from ``REPRO_CACHE_LIMIT_BYTES`` (None = unlimited)."""
+    return _env_limit(_LIMIT_BYTES_ENV)
+
+
+def cache_limit_entries() -> Optional[int]:
+    """Entry budget from ``REPRO_CACHE_LIMIT_ENTRIES`` (None = unlimited)."""
+    return _env_limit(_LIMIT_ENTRIES_ENV)
 
 
 def _config_key(config: Union[RocketConfig, BoomConfig]) -> str:
@@ -168,9 +202,15 @@ def load(key: str) -> Optional[CoreResult]:
     if not path.exists():
         return None
     try:
-        return _read_verified(path)
+        result = _read_verified(path)
     except CacheIntegrityError:
         return None  # treat corrupt entries as misses
+    try:
+        # Touch hits so size-bounded eviction is LRU rather than FIFO.
+        os.utime(path)
+    except OSError:
+        pass
+    return result
 
 
 def verify_entry(key: str) -> bool:
@@ -221,3 +261,102 @@ def store(key: str, result: CoreResult) -> None:
                 os.remove(tmp_path)
             except OSError:
                 pass
+    limit_bytes = cache_limit_bytes()
+    limit_entries = cache_limit_entries()
+    if limit_bytes is not None or limit_entries is not None:
+        prune(max_bytes=limit_bytes, max_entries=limit_entries,
+              keep=(key,))
+
+
+# ----------------------------------------------------------------------
+# Size accounting and eviction
+
+
+@dataclass(frozen=True)
+class CacheUsage:
+    """Point-in-time size report of the on-disk store."""
+
+    directory: str
+    entries: int
+    total_bytes: int
+    limit_bytes: Optional[int]
+    limit_entries: Optional[int]
+
+    @property
+    def over_limit(self) -> bool:
+        if self.limit_bytes is not None and self.total_bytes > self.limit_bytes:
+            return True
+        return (self.limit_entries is not None
+                and self.entries > self.limit_entries)
+
+    def render(self) -> str:
+        def fmt(limit: Optional[int]) -> str:
+            return "unlimited" if limit is None else str(limit)
+
+        return (f"cache {self.directory}\n"
+                f"  entries: {self.entries} (limit {fmt(self.limit_entries)})\n"
+                f"  bytes:   {self.total_bytes} (limit {fmt(self.limit_bytes)})")
+
+
+def _scan_entries(directory: Path) -> List[Path]:
+    if not directory.is_dir():
+        return []
+    return [p for p in directory.glob("*.json") if p.is_file()]
+
+
+def usage() -> CacheUsage:
+    """Current entry count and byte total (plus any env-set limits)."""
+    directory = cache_dir()
+    entries = _scan_entries(directory)
+    total = 0
+    for path in entries:
+        try:
+            total += path.stat().st_size
+        except OSError:
+            pass
+    return CacheUsage(directory=str(directory), entries=len(entries),
+                      total_bytes=total,
+                      limit_bytes=cache_limit_bytes(),
+                      limit_entries=cache_limit_entries())
+
+
+def prune(max_bytes: Optional[int] = None,
+          max_entries: Optional[int] = None,
+          keep: Optional[Any] = None) -> List[str]:
+    """Evict least-recently-used entries until both budgets hold.
+
+    ``max_bytes`` / ``max_entries`` of ``None`` mean "no bound on that
+    axis"; calling with both ``None`` is a no-op.  Keys listed in
+    ``keep`` are never evicted (``store`` protects the entry it just
+    wrote).  Returns the evicted keys, oldest first.
+    """
+    if max_bytes is None and max_entries is None:
+        return []
+    directory = cache_dir()
+    protected = set(keep or ())
+    survivors = []
+    for path in _scan_entries(directory):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        survivors.append((stat.st_mtime, stat.st_size, path))
+    survivors.sort()  # oldest mtime first = least recently used first
+    total_bytes = sum(size for _, size, _ in survivors)
+    total_entries = len(survivors)
+    evicted: List[str] = []
+    for _, size, path in survivors:
+        bytes_ok = max_bytes is None or total_bytes <= max_bytes
+        entries_ok = max_entries is None or total_entries <= max_entries
+        if bytes_ok and entries_ok:
+            break
+        if path.stem in protected:
+            continue
+        try:
+            os.remove(path)
+        except OSError:
+            continue
+        evicted.append(path.stem)
+        total_bytes -= size
+        total_entries -= 1
+    return evicted

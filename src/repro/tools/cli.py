@@ -220,6 +220,110 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from . import cache
+
+    if args.action == "stats":
+        print(cache.usage().render())
+        return 0
+    # prune: explicit flags win; otherwise the env-var limits apply.
+    max_bytes = args.max_bytes
+    max_entries = args.max_entries
+    if max_bytes is None and max_entries is None:
+        max_bytes = cache.cache_limit_bytes()
+        max_entries = cache.cache_limit_entries()
+    if max_bytes is None and max_entries is None:
+        print("nothing to prune: pass --max-bytes/--max-entries or set "
+              "REPRO_CACHE_LIMIT_BYTES/REPRO_CACHE_LIMIT_ENTRIES",
+              file=sys.stderr)
+        return 1
+    evicted = cache.prune(max_bytes=max_bytes, max_entries=max_entries)
+    print(f"evicted {len(evicted)} entries")
+    print(cache.usage().render())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from ..service import TMAService, make_server
+
+    service = TMAService(workers=args.workers,
+                         queue_capacity=args.queue_size,
+                         executor=args.executor)
+    service.start(resume=not args.no_resume)
+    server = make_server(service, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"repro-tma service on http://{host}:{port} "
+          f"(workers={args.workers}, executor={args.executor}, "
+          f"queue={args.queue_size})")
+    print("POST /jobs · GET /jobs/<id> · GET /metrics · GET /healthz · "
+          "POST /admin/drain")
+
+    def _shutdown(signum, frame):  # noqa: ARG001 - signal API
+        print(f"\nsignal {signum}: draining...", file=sys.stderr)
+        report = service.drain()
+        print(f"drained: {report}", file=sys.stderr)
+        server.shutdown()
+
+    signal.signal(signal.SIGINT, _shutdown)
+    signal.signal(signal.SIGTERM, _shutdown)
+    import threading
+
+    # serve_forever blocks; run it off-thread so the signal handler's
+    # drain/shutdown sequence can stop it cleanly from the main thread.
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    while thread.is_alive():
+        thread.join(timeout=0.5)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from ..service.client import JobRejected, ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    workloads = args.workload.split(",")
+    fields = {"config": args.config, "scale": args.scale,
+              "client": args.client, "priority": args.priority,
+              "use_cache": not args.no_cache}
+    receipts = []
+    try:
+        for workload in workloads:
+            receipt = client.submit(workload.strip(), retries=args.retries,
+                                    **fields)
+            flag = " (deduped)" if receipt.get("deduped") else ""
+            print(f"accepted {receipt['id']}{flag}")
+            receipts.append(receipt)
+    except JobRejected as rejected:
+        print(f"rejected: retry after {rejected.retry_after:.2f}s",
+              file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    if args.no_wait:
+        return 0
+    failed = 0
+    for receipt in receipts:
+        record = client.wait(receipt["id"], timeout=args.timeout)
+        result = record.get("result") or {}
+        if record["state"] == "done":
+            tma = result.get("tma", {})
+            print(f"{record['id']} done "
+                  f"workload={record['job']['workload']} "
+                  f"ipc={result.get('ipc')} "
+                  f"dominant={tma.get('dominant')} "
+                  f"from_cache={result.get('from_cache')} "
+                  f"latency={record.get('latency_seconds')}s")
+        else:
+            failed += 1
+            print(f"{record['id']} {record['state']}: "
+                  f"{record.get('error')}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_reliability(args: argparse.Namespace) -> int:
     from ..reliability import run_campaign
 
@@ -315,6 +419,53 @@ def build_parser() -> argparse.ArgumentParser:
                          help="artificial per-run slowdown fraction "
                               "(gate self-test)")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_cache = sub.add_parser(
+        "cache", help="result-cache size report and LRU pruning")
+    p_cache.add_argument("action", choices=["stats", "prune"])
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="prune until the store is under this many "
+                              "bytes (default: REPRO_CACHE_LIMIT_BYTES)")
+    p_cache.add_argument("--max-entries", type=int, default=None,
+                         help="prune until at most this many entries "
+                              "(default: REPRO_CACHE_LIMIT_ENTRIES)")
+    p_cache.set_defaults(func=_cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the queue-driven TMA analysis service")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker-pool size")
+    p_serve.add_argument("--queue-size", type=int, default=256,
+                         help="admission-queue bound (backpressure above)")
+    p_serve.add_argument("--executor", default="process",
+                         choices=["process", "thread", "inline"],
+                         help="worker execution style")
+    p_serve.add_argument("--no-resume", action="store_true",
+                         help="skip resubmitting drain-persisted jobs")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit job(s) to a running service")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8321")
+    p_submit.add_argument("--workload", required=True,
+                          help="workload name (comma-separate for several)")
+    p_submit.add_argument("--client", default="cli",
+                          help="client id for fair-share accounting")
+    p_submit.add_argument("--priority", type=int, default=1,
+                          help="0 (most urgent) .. 9")
+    p_submit.add_argument("--retries", type=int, default=5,
+                          help="retry-after-429 attempts per job")
+    p_submit.add_argument("--timeout", type=float, default=120.0,
+                          help="per-request / per-wait timeout (seconds)")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="submit and exit without polling results")
+    _add_common(p_submit)
+    p_submit.set_defaults(func=_cmd_submit)
 
     p_rel = sub.add_parser(
         "reliability",

@@ -37,17 +37,12 @@ from __future__ import annotations
 import os
 import pickle
 import random
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cores.base import BoomConfig, RocketConfig
-from ..reliability.runner import (
-    DEFAULT_MAX_CYCLES,
-    ResilientRunner,
-    RunOutcome,
-    SweepReport,
-)
+from ..reliability.runner import ResilientRunner, RunOutcome, SweepReport
+from .pool import RunnerSpec, in_worker, process_executor_factory, worker_init
 
 CoreConfig = Union[RocketConfig, BoomConfig]
 
@@ -57,74 +52,10 @@ CoreConfig = Union[RocketConfig, BoomConfig]
 #: plain serial sweeps) complete normally.
 _CRASH_ENV = "REPRO_PARALLEL_CRASH_WORKLOAD"
 
-_IN_WORKER = False
-
-
-def _worker_init() -> None:
-    """Pool-worker initializer: marks the process as a worker."""
-    global _IN_WORKER
-    _IN_WORKER = True
-
-
-def _default_executor_factory(workers: int) -> ProcessPoolExecutor:
-    return ProcessPoolExecutor(max_workers=workers, initializer=_worker_init)
-
-
-@dataclass(frozen=True)
-class RunnerSpec:
-    """Picklable recipe for rebuilding a :class:`ResilientRunner`.
-
-    Worker processes cannot receive the runner itself (its harness may
-    carry fault injectors or other unpicklable state), so the engine
-    ships this value object instead.  Components that fall outside the
-    spec — custom invariant checkers, fault injectors, backoff sleepers
-    — are deliberately serial-only: campaigns that need them should run
-    through :class:`ResilientRunner` directly.
-    """
-
-    core: str = "boom"
-    increment_mode: str = "adders"
-    mode: str = "baremetal"
-    event_names: Optional[Tuple[str, ...]] = None
-    scale: float = 1.0
-    max_attempts: int = 3
-    max_cycles: Optional[int] = DEFAULT_MAX_CYCLES
-    backoff_base: float = 0.0
-    use_cache: bool = True
-
-    @classmethod
-    def from_runner(cls, runner: ResilientRunner) -> "RunnerSpec":
-        harness = runner.harness
-        event_names = tuple(runner.event_names) if runner.event_names else None
-        return cls(
-            core=harness.core,
-            increment_mode=harness.increment_mode,
-            mode=harness.mode,
-            event_names=event_names,
-            scale=runner.scale,
-            max_attempts=runner.max_attempts,
-            max_cycles=runner.max_cycles,
-            backoff_base=runner.backoff_base,
-            use_cache=runner.use_cache,
-        )
-
-    def build(self) -> ResilientRunner:
-        from ..pmu.harness import PerfHarness
-
-        harness = PerfHarness(
-            core=self.core,
-            increment_mode=self.increment_mode,
-            mode=self.mode,
-        )
-        return ResilientRunner(
-            harness=harness,
-            event_names=self.event_names,
-            scale=self.scale,
-            max_attempts=self.max_attempts,
-            max_cycles=self.max_cycles,
-            backoff_base=self.backoff_base,
-            use_cache=self.use_cache,
-        )
+# Pool plumbing lives in repro.tools.pool (shared with the analysis
+# service); these aliases keep the engine's historical import surface.
+_worker_init = worker_init
+_default_executor_factory = process_executor_factory
 
 
 #: One grid pair: (canonical index, workload name, core config).
@@ -151,7 +82,7 @@ def _run_shard(
     report = SweepReport()
     indexed: List[Tuple[int, RunOutcome]] = []
     for index, workload, config in tasks:
-        if _IN_WORKER and crash_workload == workload:
+        if in_worker() and crash_workload == workload:
             os._exit(13)
         indexed.append((index, runner.run_one(workload, config, report)))
     return indexed, report.quarantined_keys

@@ -1,0 +1,156 @@
+"""Shared worker-pool plumbing: runner specs and executor factories.
+
+Both the batch sweep engine (:mod:`repro.tools.parallel`) and the
+long-running analysis service (:mod:`repro.service`) execute
+:class:`~repro.reliability.runner.ResilientRunner` work inside a
+process pool.  This module is the single home for the pieces that
+setup requires, so neither side copy-pastes pool wiring:
+
+- :class:`RunnerSpec` — a picklable recipe for rebuilding a resilient
+  runner inside a worker process (the runner itself may hold
+  unpicklable harness state such as fault injectors);
+- :func:`worker_init` / :func:`in_worker` — pool-worker marking, used
+  to confine crash-injection test hooks to real pool workers;
+- executor factories for the three execution styles a caller can ask
+  for: ``process`` (true parallelism, crash isolation), ``thread``
+  (cheap concurrency for I/O-light service deployments and tests), and
+  ``inline`` (synchronous execution in the submitting thread — serial
+  fallback and deterministic unit testing).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import (Future, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
+from dataclasses import dataclass
+from typing import Callable, ContextManager, Dict, Optional, Tuple
+
+from ..reliability.runner import DEFAULT_MAX_CYCLES, ResilientRunner
+
+_IN_WORKER = False
+
+
+def worker_init() -> None:
+    """Pool-worker initializer: marks the process as a worker."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker() -> bool:
+    """True inside a process-pool worker (used to gate crash hooks)."""
+    return _IN_WORKER
+
+
+@dataclass(frozen=True)
+class RunnerSpec:
+    """Picklable recipe for rebuilding a :class:`ResilientRunner`.
+
+    Worker processes cannot receive the runner itself (its harness may
+    carry fault injectors or other unpicklable state), so pool callers
+    ship this value object instead.  Components that fall outside the
+    spec — custom invariant checkers, fault injectors, backoff sleepers
+    — are deliberately serial-only: campaigns that need them should run
+    through :class:`ResilientRunner` directly.
+    """
+
+    core: str = "boom"
+    increment_mode: str = "adders"
+    mode: str = "baremetal"
+    event_names: Optional[Tuple[str, ...]] = None
+    scale: float = 1.0
+    max_attempts: int = 3
+    max_cycles: Optional[int] = DEFAULT_MAX_CYCLES
+    backoff_base: float = 0.0
+    use_cache: bool = True
+
+    @classmethod
+    def from_runner(cls, runner: ResilientRunner) -> "RunnerSpec":
+        harness = runner.harness
+        event_names = tuple(runner.event_names) if runner.event_names else None
+        return cls(
+            core=harness.core,
+            increment_mode=harness.increment_mode,
+            mode=harness.mode,
+            event_names=event_names,
+            scale=runner.scale,
+            max_attempts=runner.max_attempts,
+            max_cycles=runner.max_cycles,
+            backoff_base=runner.backoff_base,
+            use_cache=runner.use_cache,
+        )
+
+    def build(self) -> ResilientRunner:
+        from ..pmu.harness import PerfHarness
+
+        harness = PerfHarness(
+            core=self.core,
+            increment_mode=self.increment_mode,
+            mode=self.mode,
+        )
+        return ResilientRunner(
+            harness=harness,
+            event_names=self.event_names,
+            scale=self.scale,
+            max_attempts=self.max_attempts,
+            max_cycles=self.max_cycles,
+            backoff_base=self.backoff_base,
+            use_cache=self.use_cache,
+        )
+
+
+def process_executor_factory(workers: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=workers, initializer=worker_init)
+
+
+def thread_executor_factory(workers: int) -> ThreadPoolExecutor:
+    return ThreadPoolExecutor(max_workers=workers)
+
+
+class InlineExecutor:
+    """Executor that runs each submission synchronously on submit.
+
+    The deterministic degenerate pool: no concurrency, no pickling, no
+    crash isolation.  Used as the serial fallback and in unit tests
+    where scheduling order must be exact.
+    """
+
+    def submit(self, fn, *args, **kwargs) -> "Future":
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - mirror pool workers
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True, **_: object) -> None:
+        return None
+
+    def __enter__(self) -> "InlineExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+def inline_executor_factory(workers: int) -> InlineExecutor:
+    del workers
+    return InlineExecutor()
+
+
+ExecutorFactory = Callable[[int], ContextManager]
+
+#: Executor styles selectable by name (``repro-tma serve --executor``).
+EXECUTOR_FACTORIES: Dict[str, ExecutorFactory] = {
+    "process": process_executor_factory,
+    "thread": thread_executor_factory,
+    "inline": inline_executor_factory,
+}
+
+
+def executor_factory(style: str) -> ExecutorFactory:
+    try:
+        return EXECUTOR_FACTORIES[style]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor style {style!r}; "
+            f"choose from {sorted(EXECUTOR_FACTORIES)}") from None

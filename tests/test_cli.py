@@ -147,3 +147,62 @@ def test_suite_export_flags(tmp_path, capsys):
     assert json_path.exists() and csv_path.exists()
     assert "brmiss" in json_path.read_text()
     assert csv_path.read_text().startswith("workload,")
+
+
+def test_cache_stats_command(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    code, out, _ = run_cli(capsys, "cache", "stats")
+    assert code == 0
+    assert "entries: 0" in out
+    assert "unlimited" in out
+
+
+def test_cache_prune_command(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    run_cli(capsys, "tma", "--workload", "vvadd", "--config", "rocket",
+            "--scale", "0.2")
+    run_cli(capsys, "tma", "--workload", "median", "--config", "rocket",
+            "--scale", "0.2")
+    code, out, _ = run_cli(capsys, "cache", "prune", "--max-entries", "1")
+    assert code == 0
+    assert "evicted 1 entries" in out
+    assert "entries: 1" in out
+
+
+def test_cache_prune_requires_a_bound(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE_LIMIT_BYTES", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_LIMIT_ENTRIES", raising=False)
+    code, _, err = run_cli(capsys, "cache", "prune")
+    assert code == 1
+    assert "nothing to prune" in err
+
+
+def test_serve_and_submit_round_trip(capsys, tmp_path, monkeypatch):
+    """CLI-level smoke: an in-thread server + the submit subcommand."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    from repro.service import TMAService, serve_in_thread
+
+    service = TMAService(workers=1, executor="thread",
+                         queue_capacity=8).start()
+    server, _thread = serve_in_thread(service)
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        code, out, _ = run_cli(capsys, "submit", "--url", url,
+                               "--workload", "vvadd,vvadd",
+                               "--config", "rocket", "--scale", "0.2")
+        assert code == 0
+        assert "accepted job-000001" in out
+        assert "(deduped)" in out
+        assert out.count("done") == 2
+    finally:
+        server.shutdown()
+        service.drain()
+
+
+def test_submit_unreachable_server(capsys):
+    code, _, err = run_cli(capsys, "submit", "--url",
+                           "http://127.0.0.1:9", "--workload", "vvadd",
+                           "--retries", "0", "--timeout", "2")
+    assert code == 1
+    assert "submit failed" in err

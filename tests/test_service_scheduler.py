@@ -1,0 +1,235 @@
+"""Unit tests for the service job model, scheduler, and metrics."""
+
+import pytest
+
+from repro.service.job import (JobRecord, JobValidationError, TMAJob,
+                               outcome_payload)
+from repro.service.metrics import Histogram, MetricsRegistry
+from repro.service.scheduler import JobScheduler
+
+
+def make_record(workload="vvadd", scale=0.2, config="rocket",
+                client="alice", priority=1, **job_fields):
+    job = TMAJob(workload=workload, scale=scale, config=config, **job_fields)
+    return JobRecord(id=f"job-{workload}-{client}-{priority}", job=job,
+                     client=client, priority=priority)
+
+
+# ----------------------------------------------------------------------
+# Job model
+
+
+def test_job_payload_round_trip():
+    job = TMAJob(workload="median", config="small-boom", scale=0.5,
+                 events=("uops_issued",))
+    clone = TMAJob.from_payload(job.to_payload())
+    assert clone == job
+    assert clone.job_key() == job.job_key()
+
+
+def test_job_key_canonical_across_clients_and_priorities():
+    a = make_record(client="alice", priority=0)
+    b = make_record(client="bob", priority=9)
+    assert a.job_key == b.job_key
+
+
+def test_job_key_sensitive_to_analysis_inputs():
+    base = TMAJob(workload="vvadd", scale=0.2, config="rocket")
+    keys = {
+        base.job_key(),
+        TMAJob(workload="median", scale=0.2, config="rocket").job_key(),
+        TMAJob(workload="vvadd", scale=0.3, config="rocket").job_key(),
+        TMAJob(workload="vvadd", scale=0.2, config="small-boom").job_key(),
+        TMAJob(workload="vvadd", scale=0.2, config="rocket",
+               increment_mode="distributed").job_key(),
+        TMAJob(workload="vvadd", scale=0.2, config="rocket",
+               mode="linux").job_key(),
+    }
+    assert len(keys) == 6
+
+
+@pytest.mark.parametrize("payload,fragment", [
+    ({}, "workload"),
+    ({"workload": "no-such-workload"}, "unknown workload"),
+    ({"workload": "vvadd", "config": "no-such-config"}, "unknown config"),
+    ({"workload": "vvadd", "scale": -1.0}, "scale"),
+    ({"workload": "vvadd", "increment_mode": "bogus"}, "increment mode"),
+    ({"workload": "vvadd", "mode": "windows"}, "unknown mode"),
+    ({"workload": "vvadd", "surprise": 1}, "unknown job fields"),
+    ({"workload": "vvadd", "events": [1, 2]}, "events"),
+])
+def test_job_validation_rejects(payload, fragment):
+    with pytest.raises(JobValidationError, match=fragment):
+        TMAJob.from_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# Scheduler: bounded admission + backpressure
+
+
+def test_full_queue_rejects_with_depth():
+    scheduler = JobScheduler(capacity=2)
+    r1 = scheduler.submit(make_record("vvadd"))
+    r2 = scheduler.submit(make_record("median"))
+    r3 = scheduler.submit(make_record("mergesort"))
+    assert r1.accepted and r2.accepted
+    assert not r3.accepted
+    assert r3.record.state == "rejected"
+    assert r3.queue_depth == 2
+    assert scheduler.queue_depth == 2
+
+
+def test_rejected_job_never_enters_queue():
+    scheduler = JobScheduler(capacity=1)
+    scheduler.submit(make_record("vvadd"))
+    rejected = scheduler.submit(make_record("median"))
+    assert not rejected.accepted
+    first = scheduler.next_job(timeout=0)
+    assert first.job.workload == "vvadd"
+    assert scheduler.next_job(timeout=0) is None
+
+
+# ----------------------------------------------------------------------
+# Scheduler: dedup / coalescing
+
+
+def test_duplicates_coalesce_without_consuming_slots():
+    scheduler = JobScheduler(capacity=1)
+    primary = scheduler.submit(make_record("vvadd", client="alice"))
+    dupes = [scheduler.submit(make_record("vvadd", client=f"c{i}"))
+             for i in range(5)]
+    assert primary.accepted and not primary.deduped
+    assert all(d.accepted and d.deduped for d in dupes)
+    # Queue holds only the primary: capacity-1 is not exhausted by dupes.
+    assert scheduler.queue_depth == 1
+    for dupe in dupes:
+        assert dupe.record.coalesced_with == primary.record.id
+
+
+def test_resolve_fans_out_to_all_followers():
+    scheduler = JobScheduler(capacity=4)
+    primary = scheduler.submit(make_record("vvadd", client="a")).record
+    followers = [scheduler.submit(make_record("vvadd", client=f"c{i}")).record
+                 for i in range(3)]
+    running = scheduler.next_job(timeout=0)
+    assert running is primary
+    resolved = scheduler.resolve(primary)
+    assert resolved == followers
+    # After resolve the key is free again: a new submission re-executes.
+    fresh = scheduler.submit(make_record("vvadd", client="later"))
+    assert fresh.accepted and not fresh.deduped
+
+
+def test_dedup_attaches_to_running_primary():
+    scheduler = JobScheduler(capacity=4)
+    primary = scheduler.submit(make_record("vvadd")).record
+    assert scheduler.next_job(timeout=0) is primary  # now running
+    dupe = scheduler.submit(make_record("vvadd", client="bob"))
+    assert dupe.deduped
+    assert scheduler.resolve(primary) == [dupe.record]
+
+
+# ----------------------------------------------------------------------
+# Scheduler: priority + fair share
+
+
+def test_priority_classes_dispatch_in_order():
+    scheduler = JobScheduler(capacity=8)
+    scheduler.submit(make_record("vvadd", priority=2))
+    scheduler.submit(make_record("median", priority=0))
+    scheduler.submit(make_record("mergesort", priority=1))
+    order = [scheduler.next_job(timeout=0).job.workload for _ in range(3)]
+    assert order == ["median", "mergesort", "vvadd"]
+
+
+def test_round_robin_fair_share_between_clients():
+    scheduler = JobScheduler(capacity=16)
+    for workload in ("vvadd", "median", "mergesort"):
+        scheduler.submit(make_record(workload, client="chatty"))
+    scheduler.submit(make_record("qsort", client="quiet"))
+    order = [(scheduler.next_job(timeout=0).client) for _ in range(4)]
+    # The quiet client is served second, not after chatty's whole backlog.
+    assert order == ["chatty", "quiet", "chatty", "chatty"]
+
+
+def test_requeue_goes_to_the_front():
+    scheduler = JobScheduler(capacity=8)
+    crashed = scheduler.submit(make_record("vvadd")).record
+    scheduler.submit(make_record("median"))
+    assert scheduler.next_job(timeout=0) is crashed
+    scheduler.requeue(crashed)
+    assert crashed.requeues == 1
+    assert scheduler.next_job(timeout=0) is crashed  # before median
+
+
+# ----------------------------------------------------------------------
+# Scheduler: close + drain
+
+
+def test_closed_scheduler_rejects():
+    scheduler = JobScheduler(capacity=8)
+    scheduler.close()
+    receipt = scheduler.submit(make_record("vvadd"))
+    assert not receipt.accepted
+    assert "draining" in receipt.record.error
+
+
+def test_drain_queued_returns_everything_in_priority_order():
+    scheduler = JobScheduler(capacity=8)
+    scheduler.submit(make_record("vvadd", priority=3))
+    scheduler.submit(make_record("median", priority=0))
+    scheduler.submit(make_record("mergesort", priority=1))
+    drained = scheduler.drain_queued()
+    assert [r.job.workload for r in drained] == ["median", "mergesort",
+                                                 "vvadd"]
+    assert scheduler.queue_depth == 0
+    # Drained keys are released: a resubmission is a fresh primary.
+    assert scheduler.submit(make_record("median", priority=0)).deduped is False
+
+
+# ----------------------------------------------------------------------
+# Metrics
+
+
+def test_histogram_percentiles_exact_under_capacity():
+    histogram = Histogram(capacity=100)
+    for value in range(1, 101):
+        histogram.observe(float(value))
+    snap = histogram.snapshot()
+    assert snap["count"] == 100
+    assert snap["min"] == 1.0 and snap["max"] == 100.0
+    assert snap["p50"] == pytest.approx(50.0, abs=1.0)
+    assert snap["p95"] == pytest.approx(95.0, abs=1.0)
+    assert snap["p99"] == pytest.approx(99.0, abs=1.0)
+
+
+def test_histogram_window_bounded():
+    histogram = Histogram(capacity=8)
+    for value in range(1000):
+        histogram.observe(float(value))
+    assert len(histogram._window) == 8
+    assert histogram.count == 1000
+
+
+def test_registry_snapshot_shape():
+    metrics = MetricsRegistry()
+    metrics.inc("jobs_submitted", 3)
+    metrics.set_gauge("queue_depth", 7)
+    metrics.observe("job_latency_seconds", 0.25)
+    snap = metrics.snapshot()
+    assert snap["counters"]["jobs_submitted"] == 3
+    assert snap["gauges"]["queue_depth"] == 7
+    assert snap["histograms"]["job_latency_seconds"]["count"] == 1
+    assert "p99" in snap["histograms"]["job_latency_seconds"]
+
+
+def test_outcome_payload_failure_shape():
+    from repro.reliability.runner import RunOutcome
+
+    outcome = RunOutcome(workload="vvadd", config_name="Rocket",
+                         status="failed", attempts=3,
+                         error_class="RunTimeout", error="boom")
+    payload = outcome_payload(outcome)
+    assert payload["status"] == "failed"
+    assert payload["error_class"] == "RunTimeout"
+    assert "tma" not in payload

@@ -2,12 +2,15 @@
 
 import pytest
 
+import os
+
 from repro.cores import LARGE_BOOM, ROCKET
 from repro.isa.errors import CacheIntegrityError
 from repro.tools import rocket_with_l1d, run_core, run_tma
-from repro.tools.cache import (cache_key, entry_path, load,
-                               model_fingerprint, quarantine, store,
-                               verify_entry)
+from repro.tools.cache import (cache_dir, cache_key, cache_limit_bytes,
+                               cache_limit_entries, entry_path, load,
+                               model_fingerprint, prune, quarantine, store,
+                               usage, verify_entry)
 
 
 @pytest.fixture(autouse=True)
@@ -121,3 +124,105 @@ def test_rocket_with_l1d_builds_distinct_config():
     assert small.l1d.size_bytes == 16 * 1024
     assert small.name != ROCKET.name
     assert cache_key("vvadd", 0.2, small) != cache_key("vvadd", 0.2, ROCKET)
+
+
+# ----------------------------------------------------------------------
+# Environment-driven configuration
+
+
+def test_cache_dir_honors_env(isolated_cache, monkeypatch):
+    assert cache_dir() == isolated_cache
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(isolated_cache / "nested"))
+    assert cache_dir() == isolated_cache / "nested"
+
+
+def test_cache_limits_parse_env(monkeypatch):
+    assert cache_limit_bytes() is None
+    assert cache_limit_entries() is None
+    monkeypatch.setenv("REPRO_CACHE_LIMIT_BYTES", "4096")
+    monkeypatch.setenv("REPRO_CACHE_LIMIT_ENTRIES", "10")
+    assert cache_limit_bytes() == 4096
+    assert cache_limit_entries() == 10
+    monkeypatch.setenv("REPRO_CACHE_LIMIT_BYTES", "not-a-number")
+    assert cache_limit_bytes() is None
+
+
+# ----------------------------------------------------------------------
+# Size accounting and LRU eviction
+
+
+def _fill_cache(scales, workload="vvadd"):
+    keys = []
+    for scale in scales:
+        result = run_core(workload, ROCKET, scale=scale, use_cache=False)
+        key = cache_key(workload, scale, ROCKET)
+        store(key, result)
+        keys.append(key)
+    return keys
+
+
+def test_usage_counts_entries_and_bytes(isolated_cache):
+    assert usage().entries == 0
+    keys = _fill_cache([0.1, 0.2])
+    report = usage()
+    assert report.entries == 2
+    assert report.total_bytes == sum(
+        entry_path(k).stat().st_size for k in keys)
+    assert not report.over_limit  # no limits set
+    assert "entries: 2" in report.render()
+
+
+def test_prune_noop_without_limits(isolated_cache):
+    _fill_cache([0.1, 0.2])
+    assert prune() == []
+    assert usage().entries == 2
+
+
+def test_prune_evicts_oldest_first(isolated_cache):
+    keys = _fill_cache([0.1, 0.15, 0.2])
+    for age, key in zip((300, 200, 100), keys):
+        path = entry_path(key)
+        stamp = path.stat().st_mtime - age
+        os.utime(path, (stamp, stamp))
+    evicted = prune(max_entries=1)
+    assert evicted == keys[:2]  # oldest two gone, newest survives
+    assert load(keys[2]) is not None
+
+
+def test_prune_respects_keep(isolated_cache):
+    keys = _fill_cache([0.1, 0.15])
+    old = entry_path(keys[0])
+    stamp = old.stat().st_mtime - 500
+    os.utime(old, (stamp, stamp))
+    evicted = prune(max_entries=1, keep=(keys[0],))
+    assert evicted == [keys[1]]
+    assert entry_path(keys[0]).exists()
+
+
+def test_load_touch_makes_eviction_lru(isolated_cache):
+    keys = _fill_cache([0.1, 0.15])
+    # Back-date both, then touch the first via a cache hit.
+    for key in keys:
+        path = entry_path(key)
+        stamp = path.stat().st_mtime - 500
+        os.utime(path, (stamp, stamp))
+    assert load(keys[0]) is not None  # refreshes mtime
+    evicted = prune(max_entries=1)
+    assert evicted == [keys[1]]  # the un-touched entry goes first
+
+
+def test_store_enforces_env_entry_limit(isolated_cache, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_LIMIT_ENTRIES", "2")
+    keys = _fill_cache([0.1, 0.15, 0.2, 0.25])
+    assert usage().entries <= 2
+    # The most recent write always survives its own enforcement pass.
+    assert entry_path(keys[-1]).exists()
+
+
+def test_store_enforces_env_byte_limit(isolated_cache, monkeypatch):
+    keys = _fill_cache([0.1])
+    entry_bytes = entry_path(keys[0]).stat().st_size
+    monkeypatch.setenv("REPRO_CACHE_LIMIT_BYTES", str(int(entry_bytes * 1.5)))
+    _fill_cache([0.15, 0.2])
+    assert usage().total_bytes <= int(entry_bytes * 1.5)
+    assert usage().entries == 1
