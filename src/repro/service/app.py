@@ -45,6 +45,15 @@ from .workers import WorkerPool
 #: Fallback retry-after hint before any latency samples exist.
 _DEFAULT_RETRY_AFTER = 1.0
 
+#: States whose records may be evicted once ``record_retention`` is
+#: exceeded — nothing further will ever happen to them.
+_TERMINAL_RECORD_STATES = frozenset(("done", "failed", "rejected",
+                                     "requeued"))
+
+#: Default bound on retained job records (live records never count
+#: against it — they are already bounded by queue capacity).
+DEFAULT_RECORD_RETENTION = 4096
+
 
 class TMAService:
     """The long-running, queue-driven TMA analysis service."""
@@ -55,13 +64,17 @@ class TMAService:
                  executor: str = "process",
                  executor_factory=None,
                  max_requeues: int = 2,
+                 record_retention: int = DEFAULT_RECORD_RETENTION,
                  metrics: Optional[MetricsRegistry] = None) -> None:
+        if record_retention < 1:
+            raise ValueError("record_retention must be >= 1")
         self.metrics = metrics or MetricsRegistry()
         self.scheduler = JobScheduler(capacity=queue_capacity)
         self.store = ResultStore()
         self.pool = WorkerPool(workers=workers, style=executor,
                                factory=executor_factory)
         self.max_requeues = max_requeues
+        self.record_retention = record_retention
         self._lock = threading.Lock()
         self._records: Dict[str, JobRecord] = {}
         self._sequence = 0
@@ -134,15 +147,15 @@ class TMAService:
     def _on_future_done(self, record: JobRecord, future) -> None:
         error = future.exception()
         if error is not None:
-            self._finish_execution(record, error=error)
+            self._finish_execution(record, error=error, future=future)
             return
         self._finish_execution(record, outcome=future.result())
 
     def _finish_execution(self, record: JobRecord,
-                          outcome=None, error: Optional[BaseException] = None
-                          ) -> None:
+                          outcome=None, error: Optional[BaseException] = None,
+                          future=None) -> None:
         try:
-            if error is not None and self.pool.note_broken(error):
+            if error is not None and self.pool.note_broken(error, future):
                 self.metrics.inc("worker_crashes")
                 if record.requeues < self.max_requeues:
                     self.metrics.inc("jobs_requeued")
@@ -187,6 +200,7 @@ class TMAService:
                                      now - record.started_at)
             self.metrics.inc("jobs_completed" if state == "done"
                              else "jobs_failed")
+        self._prune_records()
 
     # ------------------------------------------------------------------
     # Client-facing API
@@ -250,7 +264,35 @@ class TMAService:
             record = JobRecord(id=f"job-{self._sequence:06d}", job=job,
                                client=client, priority=priority)
             self._records[record.id] = record
+            self._prune_records_locked()
             return record
+
+    def _prune_records_locked(self) -> None:
+        """Evict the oldest terminal records beyond ``record_retention``.
+
+        Live records (queued/running) are never evicted — they are
+        bounded by the admission queue — so a long-running service
+        holds at most ``record_retention`` finished records plus the
+        bounded live set, instead of every record ever submitted.
+        Evicted job ids answer 404 afterwards.
+        """
+        excess = len(self._records) - self.record_retention
+        if excess <= 0:
+            return
+        victims = []
+        for job_id, record in self._records.items():
+            if record.state in _TERMINAL_RECORD_STATES:
+                victims.append(job_id)
+                if len(victims) >= excess:
+                    break
+        for job_id in victims:
+            del self._records[job_id]
+        if victims:
+            self.metrics.inc("records_evicted", len(victims))
+
+    def _prune_records(self) -> None:
+        with self._lock:
+            self._prune_records_locked()
 
     def status(self, job_id: str) -> Optional[Dict[str, Any]]:
         with self._lock:
@@ -314,9 +356,12 @@ class TMAService:
         Closes admission immediately, waits up to ``timeout`` seconds
         for the queue and in-flight jobs to finish, then persists any
         still-queued accepted jobs (and marks their records
-        ``requeued``).  Returns a drain report with the persisted
-        count — callers asserting zero-loss check
-        ``completed + failed + persisted == accepted``.
+        ``requeued``).  Returns a drain report whose ``persisted``
+        figure counts every accepted submission left undone — queued
+        primaries *plus* their coalesced followers, matching the
+        ``jobs_persisted`` counter — so callers asserting zero loss
+        check ``completed + failed + persisted == accepted``.
+        (The pending file itself stores each unique job once.)
         """
         with self._lock:
             if self._state in ("draining", "drained"):
@@ -337,12 +382,14 @@ class TMAService:
         # still in flight gets a short grace period from shutdown(wait).
         leftovers = self.scheduler.drain_queued()
         persisted_jobs: List[TMAJob] = []
+        persisted_records = 0
         for record in leftovers:
             followers = self.scheduler.resolve(record)
             persisted_jobs.append(record.job)
             for target in [record] + followers:
                 target.state = "requeued"
                 self.metrics.inc("jobs_persisted")
+                persisted_records += 1
         if persisted_jobs:
             self.store.persist_pending(persisted_jobs)
 
@@ -356,7 +403,7 @@ class TMAService:
         self._refresh_gauges()
         return {
             "state": "drained",
-            "persisted": len(persisted_jobs),
+            "persisted": persisted_records,
             "completed": self.metrics.counter("jobs_completed"),
             "failed": self.metrics.counter("jobs_failed"),
             "accepted": self.metrics.counter("jobs_accepted"),

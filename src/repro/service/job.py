@@ -80,15 +80,22 @@ class TMAJob:
         """Canonical dedup/store key for this analysis.
 
         Reuses the disk cache's (fingerprint, workload, scale, config)
-        key and folds in the harness options that change what a
-        measurement returns, so e.g. a ``distributed``-counter request
-        never coalesces with an exact ``adders`` one.
+        key and folds in every option that changes what a measurement
+        returns: the harness options (so e.g. a ``distributed``-counter
+        request never coalesces with an exact ``adders`` one) *and* the
+        execution policy — a ``use_cache=False`` force-fresh submission
+        must not be served a cached result via a ``use_cache=True``
+        primary, and jobs with different watchdog budgets must not
+        share a timeout verdict produced under someone else's smaller
+        ``max_cycles``.
         """
         base = cache_key(self.workload, self.scale, self.config_obj())
         digest = hashlib.sha256(base.encode())
         digest.update(self.increment_mode.encode())
         digest.update(self.mode.encode())
         digest.update(repr(self.events).encode())
+        digest.update(repr(self.use_cache).encode())
+        digest.update(repr(self.max_cycles).encode())
         return digest.hexdigest()[:24]
 
     def cache_key(self) -> str:

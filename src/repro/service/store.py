@@ -16,8 +16,11 @@ or perturbed harness paths, so those always execute.
 
 The store also owns the drain persistence file: accepted jobs that a
 shutdown could not finish are written (atomically) to
-``pending-jobs.json`` next to the cache entries, and a restarting
-service resubmits them — accepted work is never silently lost.
+``pending-jobs.state`` next to the cache entries, and a restarting
+service resubmits them — accepted work is never silently lost.  The
+file deliberately does *not* carry a ``.json`` suffix: cache entries
+are globbed as ``*.json``, and the pending file must never be counted
+or evicted as an LRU cache entry by :func:`repro.tools.cache.prune`.
 """
 
 from __future__ import annotations
@@ -33,8 +36,10 @@ from ..tools import cache
 from .job import TMAJob, outcome_payload
 
 #: Drain-persistence file name (lives inside the cache directory so
-#: ``REPRO_CACHE_DIR`` isolates it along with the results).
-PENDING_FILE = "pending-jobs.json"
+#: ``REPRO_CACHE_DIR`` isolates it along with the results).  JSON
+#: content, but a non-``.json`` suffix: the cache's ``*.json`` scan
+#: must not treat it as an evictable entry.
+PENDING_FILE = "pending-jobs.state"
 
 
 class ResultStore:

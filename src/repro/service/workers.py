@@ -67,10 +67,13 @@ class WorkerPool:
         self._factory = factory or executor_factory(style)
         self._lock = threading.Lock()
         self._executor = None
+        self._shut_down = False
         self.rebuilds = 0
 
     def _ensure_executor(self):
         with self._lock:
+            if self._shut_down:
+                raise RuntimeError("worker pool is shut down")
             if self._executor is None:
                 self._executor = self._factory(self.workers)
             return self._executor
@@ -79,15 +82,25 @@ class WorkerPool:
                allow_crash_hook: bool = True) -> Future:
         executor = self._ensure_executor()
         try:
-            return executor.submit(execute_job, spec, workload, config_name,
-                                   allow_crash_hook)
+            future = executor.submit(execute_job, spec, workload, config_name,
+                                     allow_crash_hook)
         except (BrokenExecutor, RuntimeError):
+            with self._lock:
+                if self._shut_down:
+                    # shutdown() raced us: refuse, never resurrect a
+                    # fresh executor the shutdown would not reap.
+                    raise
             # The pool broke between jobs (a worker died idle, or a
             # previous crash poisoned it): rebuild once and resubmit.
             self._rebuild(executor)
             executor = self._ensure_executor()
-            return executor.submit(execute_job, spec, workload, config_name,
-                                   allow_crash_hook)
+            future = executor.submit(execute_job, spec, workload, config_name,
+                                     allow_crash_hook)
+        # Remember which executor produced the future, so a later
+        # crash report rebuilds the executor that actually broke and
+        # never tears down an already-rebuilt healthy one.
+        future.pool_source = executor
+        return future
 
     def _rebuild(self, broken) -> None:
         with self._lock:
@@ -100,23 +113,31 @@ class WorkerPool:
         except Exception:  # noqa: BLE001 - broken pools may refuse politely
             pass
 
-    def note_broken(self, future_exception: BaseException) -> bool:
+    def note_broken(self, future_exception: BaseException,
+                    future: Optional[Future] = None) -> bool:
         """Classify a job failure; rebuild the pool if it was a crash.
 
         Returns True when the exception means the *worker* died (the
         job itself is innocent and should be re-queued) rather than the
-        job failing on its own merits.
+        job failing on its own merits.  Pass the failed ``future`` so
+        the rebuild targets the executor that actually produced it:
+        ``_rebuild`` is identity-checked, so a stale crash report from
+        an already-replaced executor never shuts down the healthy
+        rebuilt one mid-flight.
         """
         if not isinstance(future_exception, BrokenExecutor):
             return False
-        with self._lock:
-            broken = self._executor
+        broken = getattr(future, "pool_source", None)
+        if broken is None:
+            with self._lock:
+                broken = self._executor
         if broken is not None:
             self._rebuild(broken)
         return True
 
     def shutdown(self, wait: bool = True) -> None:
         with self._lock:
+            self._shut_down = True
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=wait)

@@ -250,7 +250,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     service = TMAService(workers=args.workers,
                          queue_capacity=args.queue_size,
-                         executor=args.executor)
+                         executor=args.executor,
+                         record_retention=args.record_retention)
     service.start(resume=not args.no_resume)
     server = make_server(service, host=args.host, port=args.port,
                          verbose=args.verbose)
@@ -443,6 +444,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--executor", default="process",
                          choices=["process", "thread", "inline"],
                          help="worker execution style")
+    p_serve.add_argument("--record-retention", type=int, default=4096,
+                         help="finished job records kept queryable "
+                              "before the oldest are evicted")
     p_serve.add_argument("--no-resume", action="store_true",
                          help="skip resubmitting drain-persisted jobs")
     p_serve.add_argument("--verbose", action="store_true",

@@ -200,7 +200,21 @@ def test_drain_persists_queued_jobs_and_resume_completes_them(tmp_path):
          "client": "other"})
     assert dupe.deduped
     report = service.drain(timeout=0.2)
-    assert report["persisted"] == 2  # two unique jobs persisted once
+    # persisted counts accepted submissions (2 primaries + 1 follower),
+    # so the zero-loss invariant holds exactly.
+    assert report["persisted"] == 3
+    accepted = service.metrics.counter("jobs_accepted")
+    assert accepted == (service.metrics.counter("jobs_completed")
+                        + service.metrics.counter("jobs_failed")
+                        + report["persisted"])
+    assert service.metrics.counter("jobs_persisted") == report["persisted"]
+    assert service.store.pending_path().exists()
+    # The pending file must not look like a cache entry: pruning the
+    # cache to zero entries must leave it untouched.
+    from repro.tools import cache
+
+    assert cache.usage().entries == 0
+    assert cache.prune(max_entries=0) == []
     assert service.store.pending_path().exists()
     # Every accepted record is terminal: done/failed or durably requeued.
     for job_id in ids + [dupe.record.id]:
@@ -216,6 +230,102 @@ def test_drain_persists_queued_jobs_and_resume_completes_them(tmp_path):
             time.sleep(0.02)
     finally:
         resumed.drain()
+
+
+# ----------------------------------------------------------------------
+# Bounded record retention
+
+
+def test_finished_records_evicted_beyond_retention():
+    service = make_service(workers=1, executor="inline",
+                           record_retention=3).start()
+    try:
+        ids = []
+        for workload in ("vvadd", "median", "mergesort", "qsort", "towers"):
+            receipt = service.submit_payload(
+                {"workload": workload, "scale": 0.1, "config": "rocket"})
+            assert receipt.accepted
+            ids.append(receipt.record.id)
+        deadline = time.time() + 60
+        while service.metrics.counter("jobs_completed") < 5:
+            assert time.time() < deadline
+            time.sleep(0.02)
+        # Only the newest finished records are retained; the oldest
+        # were evicted and now answer 404.
+        assert len(service.records()) <= 3
+        assert service.metrics.counter("records_evicted") >= 2
+        assert service.status(ids[-1]) is not None
+        assert service.status(ids[0]) is None
+    finally:
+        service.drain()
+
+
+# ----------------------------------------------------------------------
+# Worker-pool lifecycle: shutdown refusal + crash attribution
+
+
+class _FakeExecutor:
+    """Executor stub recording shutdowns; futures never complete."""
+
+    def __init__(self):
+        self.shut = False
+
+    def submit(self, fn, *args, **kwargs):
+        from concurrent.futures import Future
+
+        return Future()
+
+    def shutdown(self, wait=True, **_):
+        self.shut = True
+
+
+def _fake_pool():
+    from repro.service.workers import WorkerPool
+
+    created = []
+
+    def factory(workers):
+        executor = _FakeExecutor()
+        created.append(executor)
+        return executor
+
+    return WorkerPool(workers=1, factory=factory), created
+
+
+def _spec():
+    from repro.service import TMAJob
+
+    return TMAJob(workload="vvadd", scale=0.2, config="rocket").runner_spec()
+
+
+def test_worker_pool_refuses_submit_after_shutdown():
+    pool, created = _fake_pool()
+    pool.submit(_spec(), "vvadd", "rocket")
+    assert len(created) == 1
+    pool.shutdown()
+    with pytest.raises(RuntimeError):
+        pool.submit(_spec(), "vvadd", "rocket")
+    assert len(created) == 1  # no executor resurrected after shutdown
+
+
+def test_stale_crash_report_never_kills_rebuilt_executor():
+    from concurrent.futures import BrokenExecutor
+
+    pool, created = _fake_pool()
+    stale = pool.submit(_spec(), "vvadd", "rocket")  # from executor A
+    assert pool.note_broken(BrokenExecutor("worker died"), stale)
+    assert created[0].shut is True  # A torn down, pool rebuilt
+    assert pool.rebuilds == 1
+    pool.submit(_spec(), "vvadd", "rocket")  # from executor B
+    assert len(created) == 2
+    # A late crash report for executor A must not tear down healthy B.
+    assert pool.note_broken(BrokenExecutor("worker died"), stale)
+    assert created[1].shut is False
+    assert pool.rebuilds == 1
+    pool.submit(_spec(), "vvadd", "rocket")
+    assert len(created) == 2  # B still current
+    pool.shutdown()
+    assert created[1].shut is True
 
 
 # ----------------------------------------------------------------------

@@ -44,8 +44,18 @@ def test_job_key_sensitive_to_analysis_inputs():
                increment_mode="distributed").job_key(),
         TMAJob(workload="vvadd", scale=0.2, config="rocket",
                mode="linux").job_key(),
+        # Execution policy changes what a measurement returns, so it
+        # must split the key too: a force-fresh request must not be
+        # served through a cached-path primary, and different watchdog
+        # budgets must not share a timeout verdict.
+        TMAJob(workload="vvadd", scale=0.2, config="rocket",
+               use_cache=False).job_key(),
+        TMAJob(workload="vvadd", scale=0.2, config="rocket",
+               max_cycles=1234).job_key(),
+        TMAJob(workload="vvadd", scale=0.2, config="rocket",
+               max_cycles=None).job_key(),
     }
-    assert len(keys) == 6
+    assert len(keys) == 9
 
 
 @pytest.mark.parametrize("payload,fragment", [
