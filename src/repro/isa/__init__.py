@@ -7,6 +7,9 @@ traces that the Rocket and BOOM timing models replay.
 
 from .assembler import Assembler, assemble
 from .builder import AsmBuilder
+from .columnar import ColumnarTrace, StaticOp, unpack
+from .compiler import (CompiledProgram, CompileError, compile_program,
+                       execute_compiled)
 from .dyn_trace import DynamicTrace, DynInst, FP_REG_BASE, NO_REG
 from .encoding import (EncodingError, decode, encodable, encode,
                        encode_program)
@@ -20,6 +23,9 @@ __all__ = [
     "AsmBuilder",
     "Assembler",
     "AssemblerError",
+    "ColumnarTrace",
+    "CompileError",
+    "CompiledProgram",
     "DEFAULT_DATA_BASE",
     "DEFAULT_TEXT_BASE",
     "DynamicTrace",
@@ -36,10 +42,14 @@ __all__ = [
     "OpSpec",
     "Program",
     "SparseMemory",
+    "StaticOp",
     "assemble",
+    "compile_program",
     "decode",
     "encodable",
     "encode",
     "encode_program",
     "execute",
+    "execute_compiled",
+    "unpack",
 ]

@@ -20,12 +20,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.tma import TmaResult, compute_tma
 from ..cores.base import BoomConfig, RocketConfig
 from ..pmu.harness import Measurement, PerfHarness
 from ..tools import cache
+from ..workloads import trace_cache
 from .errors import CacheIntegrityError, ReliabilityError
 from .invariants import TmaInvariantChecker
 
@@ -49,6 +50,10 @@ class RunOutcome:
     error: Optional[str] = None
     measurement: Optional[Measurement] = None
     tma: Optional[TmaResult] = None
+    #: Trace-memoization counter movement attributed to this run
+    #: (mem_hits / disk_hits / misses), so parallel shards and service
+    #: jobs can report cache behaviour across process boundaries.
+    trace_cache: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -69,6 +74,18 @@ class SweepReport:
     @property
     def failed(self) -> List[RunOutcome]:
         return [o for o in self.outcomes if not o.ok]
+
+    def trace_cache_stats(self) -> Dict[str, int]:
+        """Trace-memoization counters summed across all outcomes."""
+        total: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            for key, value in (outcome.trace_cache or {}).items():
+                total[key] = total.get(key, 0) + value
+        return total
+
+    @property
+    def trace_cache_hit_rate(self) -> float:
+        return trace_cache.hit_rate(self.trace_cache_stats())
 
     def summary(self) -> str:
         lines = [f"sweep: {len(self.completed)}/{len(self.outcomes)} "
@@ -157,6 +174,7 @@ class ResilientRunner:
         self._quarantine_if_poisoned(workload, config, outcome, report)
         harness = self._harness_for(config)
         event_names = self._events_for(config)
+        cache_before = trace_cache.stats()
         last_error: Optional[ReliabilityError] = None
         for attempt in range(self.max_attempts):
             outcome.attempts = attempt + 1
@@ -179,10 +197,12 @@ class ResilientRunner:
             if self.use_cache and measurement.result is not None:
                 key = cache.cache_key(workload, self.scale, config)
                 cache.store(key, measurement.result)
+            outcome.trace_cache = trace_cache.stats_delta(cache_before)
             return outcome
         outcome.status = "failed"
         outcome.error_class = type(last_error).__name__
         outcome.error = str(last_error)
+        outcome.trace_cache = trace_cache.stats_delta(cache_before)
         return outcome
 
     def run_grid(self, workloads: Sequence[str],

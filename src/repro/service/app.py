@@ -169,6 +169,7 @@ class TMAService:
                 self._resolve(record, state="failed",
                               error=f"{type(error).__name__}: {error}")
                 return
+            self._account_trace_cache(outcome)
             payload = outcome_payload(outcome)
             state = "done" if outcome.ok else "failed"
             self._resolve(record, state=state,
@@ -180,6 +181,18 @@ class TMAService:
                 self._idle.notify_all()
             self._slots.release()
             self._refresh_gauges()
+
+    def _account_trace_cache(self, outcome) -> None:
+        """Fold a run's trace-memoization counter delta into metrics.
+
+        Worker processes ship the delta home on the
+        :class:`~repro.reliability.runner.RunOutcome`, so the registry
+        reflects cache behaviour across the whole pool.
+        """
+        delta = getattr(outcome, "trace_cache", None) or {}
+        for key, amount in delta.items():
+            if amount:
+                self.metrics.inc(f"trace_cache_{key}", amount)
 
     def _resolve(self, record: JobRecord, state: str,
                  result: Optional[Dict[str, Any]] = None,
@@ -325,6 +338,11 @@ class TMAService:
         self.metrics.set_gauge("draining",
                                1.0 if self._state in ("draining", "drained")
                                else 0.0)
+        hits = (self.metrics.counter("trace_cache_mem_hits")
+                + self.metrics.counter("trace_cache_disk_hits"))
+        lookups = hits + self.metrics.counter("trace_cache_misses")
+        if lookups:
+            self.metrics.set_gauge("trace_cache_hit_rate", hits / lookups)
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         self._refresh_gauges()

@@ -36,7 +36,15 @@ CRASH_ENV = "REPRO_SERVICE_CRASH_WORKLOAD"
 
 def execute_job(spec: RunnerSpec, workload: str, config_name: str,
                 allow_crash_hook: bool = True) -> RunOutcome:
-    """Run one job (in a pool worker or inline) and return its outcome."""
+    """Run one job (in a pool worker or inline) and return its outcome.
+
+    The runner resolves the functional trace through the shared
+    trace-memoization tiers (:mod:`repro.workloads.trace_cache`): a
+    burst of jobs over the same workload executes it functionally once
+    per worker at most, and usually zero times (disk hit on packed
+    column bytes).  The per-run hit/miss delta rides home on
+    ``RunOutcome.trace_cache`` for the service metrics registry.
+    """
     if (allow_crash_hook and in_worker()
             and os.environ.get(CRASH_ENV) == workload):
         os._exit(13)

@@ -1,11 +1,16 @@
 """Benchmark harness with a regression gate: ``repro-tma bench``.
 
 Runs the tier-2 performance set — the Fig. 7 Rocket workload suite
-single-run (traced vs. fast path) and the (workload x config) sweep
-(serial vs. parallel) — and writes a ``BENCH_*.json`` snapshot of:
+single-run (traced vs. fast path), the functional layer (interpreted
+oracle vs. closure-compiled engine), the trace-memoization tiers
+(cold vs. warm), and the (workload x config) sweep (serial vs.
+parallel) — and writes a ``BENCH_*.json`` snapshot of:
 
 - wall-clock and runs/sec for every mode,
 - the fast-path speedup over the traced path,
+- the compiled functional engine's speedup over the interpreter (with
+  a bit-identical trace check),
+- the warm trace-cache hit rate,
 - the parallel sweep's speedup over serial and its per-worker
   efficiency,
 - whether parallel and serial sweeps merged to identical results.
@@ -17,6 +22,10 @@ machine-independent: absolute runs/sec differ wildly across CI
 runners, but "fast path is 2.2x the traced path" holds anywhere the
 same interpreter runs, so a drop means the code regressed, not the
 machine.  Absolute numbers are recorded for humans, never gated.
+Raw parallel *speedup* is deliberately not gated either: on a 1-CPU
+runner 4 workers legitimately score < 1.0 (BENCH_PR2 recorded 0.894),
+so the gate uses per-core ``parallel.efficiency`` instead, which is
+already normalized by ``effective_cores``.
 """
 
 from __future__ import annotations
@@ -26,23 +35,35 @@ import json
 import os
 import platform
 import re
+import shutil
+import tempfile
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cores.configs import ROCKET
+from ..isa import execute, execute_compiled
 from ..pmu.harness import PerfHarness
 from ..reliability.runner import ResilientRunner
-from ..workloads import build_trace, workload_names
+from ..workloads import (
+    build_program,
+    build_trace,
+    clear_caches,
+    trace_cache,
+    workload_names,
+)
 from .parallel import ParallelSweepRunner
 
 #: Snapshot written by this PR's harness; bump per PR with a baseline.
-DEFAULT_OUTPUT = "BENCH_PR2.json"
+DEFAULT_OUTPUT = "BENCH_PR4.json"
 
 #: Ratio metrics the gate enforces ("section.key" paths).  Anything
-#: not listed here is informational only.
+#: not listed here is informational only.  ``parallel.speedup`` is
+#: intentionally absent: absolute pool speedup is a property of the
+#: runner's core count (0.894 on a 1-CPU runner is correct behaviour),
+#: so the gate enforces the per-core ``parallel.efficiency`` instead.
 GATED_METRICS = (
     "fastpath.speedup",
-    "parallel.speedup",
+    "functional.speedup",
     "parallel.efficiency",
 )
 
@@ -129,6 +150,148 @@ def _bench_fastpath(
     }
 
 
+def _dyninst_digest(inst) -> Tuple:
+    """Every committed field of one dynamic instruction."""
+    return (
+        inst.index,
+        inst.pc,
+        inst.cls,
+        inst.dest,
+        inst.srcs,
+        inst.latency,
+        inst.next_pc,
+        inst.mnemonic,
+        inst.mem_addr,
+        inst.mem_width,
+        inst.is_load,
+        inst.is_store,
+        inst.is_branch,
+        inst.taken,
+        inst.is_fence,
+        inst.csr,
+        inst.csr_write,
+    )
+
+
+def _traces_identical(a, b) -> bool:
+    """Bit-identical committed-path equality of two trace objects."""
+    if (
+        len(a) != len(b)
+        or a.exit_code != b.exit_code
+        or a.halt_reason != b.halt_reason
+        or list(a.final_int_regs) != list(b.final_int_regs)
+    ):
+        return False
+    return all(_dyninst_digest(x) == _dyninst_digest(y) for x, y in zip(a, b))
+
+
+def _bench_functional(
+    workloads: Sequence[str],
+    scale: float,
+) -> Dict[str, float]:
+    """Functional layer: interpreted oracle vs. closure-compiled engine.
+
+    Both engines execute the same assembled programs directly (no
+    memoization), so the ratio isolates the executor itself.  The
+    compiled pass includes ``compile_program`` time — that is what a
+    cold run actually pays.  ``identical`` is a full bit-identical
+    comparison of every committed dynamic instruction.
+    """
+    programs = [build_program(name, scale=scale) for name in workloads]
+
+    start = time.perf_counter()
+    interpreted = [execute(program) for program in programs]
+    interpreted_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    compiled = [execute_compiled(program) for program in programs]
+    compiled_s = time.perf_counter() - start
+
+    identical = all(_traces_identical(i, c) for i, c in zip(interpreted, compiled))
+    instructions = sum(len(trace) for trace in interpreted)
+    return {
+        "workloads": len(workloads),
+        "instructions": instructions,
+        "interpreted_wall_s": round(interpreted_s, 4),
+        "compiled_wall_s": round(compiled_s, 4),
+        "interpreted_runs_per_s": round(len(workloads) / interpreted_s, 3),
+        "compiled_runs_per_s": round(len(workloads) / compiled_s, 3),
+        "interpreted_kinst_per_s": round(instructions / interpreted_s / 1e3, 1),
+        "compiled_kinst_per_s": round(instructions / compiled_s / 1e3, 1),
+        "speedup": round(interpreted_s / compiled_s, 3),
+        "identical": identical,
+    }
+
+
+def _bench_trace_cache(
+    workloads: Sequence[str],
+    scale: float,
+) -> Dict[str, float]:
+    """Memoization tiers: cold execute, warm disk reload, warm memory.
+
+    Runs against an isolated temporary cache directory so the numbers
+    are reproducible regardless of what earlier sections (or earlier
+    bench runs) left in the real cache.
+    """
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    tmp = tempfile.mkdtemp(prefix="repro-bench-traces-")
+    os.environ["REPRO_CACHE_DIR"] = tmp
+    try:
+        clear_caches()
+        start = time.perf_counter()
+        for name in workloads:
+            build_trace(name, scale=scale)
+        cold_s = time.perf_counter() - start
+        cold = trace_cache.stats()
+
+        trace_cache.clear_memory()  # keep the disk tier, drop memory
+        start = time.perf_counter()
+        for name in workloads:
+            build_trace(name, scale=scale)
+        disk_s = time.perf_counter() - start
+        disk = trace_cache.stats()
+
+        start = time.perf_counter()
+        for name in workloads:
+            build_trace(name, scale=scale)
+        mem_s = time.perf_counter() - start
+        warm = trace_cache.stats_delta(disk)
+
+        # Hit rate over the two warm passes (disk reload + memory); the
+        # cold pass is by definition all misses and not counted.  The
+        # clear_memory() between cold and disk passes zeroed the
+        # counters, so `disk` covers exactly the disk pass.
+        warm_hits = (
+            disk["disk_hits"]
+            + disk["mem_hits"]
+            + warm["mem_hits"]
+            + warm["disk_hits"]
+        )
+        warm_misses = disk["misses"] + warm["misses"]
+        warm_lookups = warm_hits + warm_misses
+        return {
+            "workloads": len(workloads),
+            "cold_wall_s": round(cold_s, 4),
+            "disk_wall_s": round(disk_s, 4),
+            "mem_wall_s": round(mem_s, 4),
+            "cold_misses": cold["misses"],
+            "disk_hits": disk["disk_hits"],
+            "mem_hits": warm["mem_hits"],
+            "trace_cache_hit_rate": (
+                round(warm_hits / warm_lookups, 3) if warm_lookups else 0.0
+            ),
+            "disk_speedup": round(cold_s / disk_s, 3) if disk_s else 0.0,
+            "mem_speedup": round(cold_s / mem_s, 3) if mem_s else 0.0,
+        }
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved
+        clear_caches()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def _bench_parallel(
     workloads: Sequence[str],
     scale: float,
@@ -202,6 +365,8 @@ def run_benchmarks(
         "mode": "quick" if quick else "full",
         "scale": scale,
         "fingerprint": _fingerprint(),
+        "functional": _bench_functional(workloads, scale),
+        "trace_cache": _bench_trace_cache(workloads, scale),
         "fastpath": _bench_fastpath(workloads, scale, inject_slowdown),
         "parallel": _bench_parallel(workloads, scale, workers),
     }
@@ -224,6 +389,7 @@ def compare_benchmarks(
     current: Dict,
     baseline: Dict,
     threshold: float = 0.20,
+    timing: bool = True,
 ) -> List[str]:
     """Gate *current* against *baseline*; returns regression messages.
 
@@ -233,13 +399,15 @@ def compare_benchmarks(
     The ``parallel.*`` ratios are only compared when both snapshots ran
     on the same effective core count — per-core efficiency measured on
     1 core and on 4 cores are different quantities, and comparing them
-    across heterogeneous runners would manufacture regressions.
+    across heterogeneous runners would manufacture regressions.  Pass
+    ``timing=False`` to skip the ratio comparisons entirely (a profiled
+    run distorts wall-clock ratios); the identity checks still apply.
     """
     current_cores = _lookup(current, "parallel.effective_cores")
     baseline_cores = _lookup(baseline, "parallel.effective_cores")
     cores_match = current_cores == baseline_cores
     problems: List[str] = []
-    for path in GATED_METRICS:
+    for path in GATED_METRICS if timing else ():
         if path.startswith("parallel.") and not cores_match:
             continue
         base = _lookup(baseline, path)
@@ -256,6 +424,11 @@ def compare_benchmarks(
         problems.append(
             "parallel.identical: parallel and serial sweeps "
             "merged to different results"
+        )
+    if not current.get("functional", {}).get("identical", True):
+        problems.append(
+            "functional.identical: compiled and interpreted executors "
+            "produced different traces"
         )
     return problems
 
@@ -284,6 +457,28 @@ def render_payload(payload: Dict) -> str:
         f"tier-2 bench [{payload['mode']}] scale={payload['scale']} "
         f"python={payload['fingerprint']['python']} "
         f"cpus={payload['fingerprint']['cpus']}",
+    ]
+    fn = payload.get("functional")
+    if fn:
+        lines.append(
+            f"  functional: {fn['workloads']} workloads "
+            f"({fn['instructions']} insts)  "
+            f"interp {fn['interpreted_wall_s']:.2f}s "
+            f"({fn['interpreted_kinst_per_s']:.0f} kinst/s)  "
+            f"compiled {fn['compiled_wall_s']:.2f}s "
+            f"({fn['compiled_kinst_per_s']:.0f} kinst/s)  "
+            f"speedup {fn['speedup']:.2f}x  "
+            f"identical={fn['identical']}"
+        )
+    tc = payload.get("trace_cache")
+    if tc:
+        lines.append(
+            f"  trace_cache: cold {tc['cold_wall_s']:.2f}s  "
+            f"disk {tc['disk_wall_s']:.2f}s  "
+            f"mem {tc['mem_wall_s']:.2f}s  "
+            f"warm hit rate {tc['trace_cache_hit_rate']:.2f}"
+        )
+    lines += [
         f"  fastpath: {fast['workloads']} rocket fig7 runs  "
         f"traced {fast['traced_wall_s']:.2f}s "
         f"({fast['traced_runs_per_s']:.1f}/s)  "

@@ -194,8 +194,32 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from . import bench
 
-    payload = bench.run_benchmarks(quick=args.quick, workers=args.workers,
-                                   inject_slowdown=args.inject_slowdown)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            payload = bench.run_benchmarks(
+                quick=args.quick, workers=args.workers,
+                inject_slowdown=args.inject_slowdown)
+        finally:
+            profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        print(f"--- top {args.profile_top} cumulative hotspots ---")
+        stats.print_stats(args.profile_top)
+        if args.profile_output:
+            with open(args.profile_output, "w", encoding="utf-8") as handle:
+                pstats.Stats(profiler, stream=handle) \
+                    .sort_stats("cumulative") \
+                    .print_stats(args.profile_top)
+            print(f"wrote {args.profile_output}")
+    else:
+        payload = bench.run_benchmarks(
+            quick=args.quick, workers=args.workers,
+            inject_slowdown=args.inject_slowdown)
     print(bench.render_payload(payload))
     bench.write_payload(payload, args.output)
     print(f"wrote {args.output}")
@@ -209,14 +233,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     with open(baseline_path, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)
     problems = bench.compare_benchmarks(payload, baseline,
-                                        threshold=args.threshold)
+                                        threshold=args.threshold,
+                                        timing=not args.profile)
     if problems:
         print(f"REGRESSION vs {baseline_path}:", file=sys.stderr)
         for problem in problems:
             print(f"  {problem}", file=sys.stderr)
         return 1
-    print(f"gate passed vs {baseline_path} "
-          f"(threshold {args.threshold:.0%})")
+    if args.profile:
+        print(f"gate vs {baseline_path}: identity checks passed; "
+              "timing ratios skipped (profiler overhead distorts them)")
+    else:
+        print(f"gate passed vs {baseline_path} "
+              f"(threshold {args.threshold:.0%})")
     return 0
 
 
@@ -411,7 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--threshold", type=float, default=0.20,
                          help="allowed fractional regression on gated "
                               "ratio metrics")
-    p_bench.add_argument("--output", default="BENCH_PR2.json",
+    p_bench.add_argument("--output", default="BENCH_PR4.json",
                          help="snapshot to write")
     p_bench.add_argument("--baseline", default="auto",
                          help="baseline BENCH_*.json ('auto' picks the "
@@ -419,6 +448,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--inject-slowdown", type=float, default=0.0,
                          help="artificial per-run slowdown fraction "
                               "(gate self-test)")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="wrap the run in cProfile and print the "
+                              "top cumulative hotspots")
+    p_bench.add_argument("--profile-top", type=int, default=25,
+                         help="hotspot rows to print with --profile")
+    p_bench.add_argument("--profile-output", default="BENCH_PROFILE.txt",
+                         help="also write the profile table here "
+                              "('' to skip)")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_cache = sub.add_parser(

@@ -29,7 +29,12 @@ it wraps:
 
 Cache coordination comes for free: workers share the on-disk result
 cache through :func:`repro.tools.cache.store`'s per-process temp files
-and atomic replace.
+and atomic replace.  Functional traces are coordinated the same way:
+before sharding, the parent *pre-warms* the trace-memoization disk tier
+(:mod:`repro.workloads.trace_cache`) with each unique workload's
+columnar trace, so every pool worker unpacks compact column bytes
+instead of re-executing the workload — and nothing ever pickles a
+``DynInst`` list across the process boundary.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cores.base import BoomConfig, RocketConfig
 from ..reliability.runner import ResilientRunner, RunOutcome, SweepReport
+from ..workloads import build_trace, trace_cache
 from .pool import RunnerSpec, in_worker, process_executor_factory, worker_init
 
 CoreConfig = Union[RocketConfig, BoomConfig]
@@ -172,6 +178,7 @@ class ParallelSweepRunner:
         if workers <= 1:
             return self._run_serial(grid, engine="serial")
 
+        self._prewarm_traces(workloads)
         spec = RunnerSpec.from_runner(self.runner)
         shards = self.shard_grid(grid, workers)
         try:
@@ -230,6 +237,25 @@ class ParallelSweepRunner:
         for shard_index in sorted(quarantined):
             report.quarantined_keys.extend(quarantined[shard_index])
         return report
+
+    # ------------------------------------------------------------------
+
+    def _prewarm_traces(self, workloads: Sequence[str]) -> None:
+        """Publish each unique workload's trace to the shared disk tier.
+
+        Runs in the parent before any shard is dispatched, so every
+        worker's first lookup is a disk hit (unpacking column bytes)
+        rather than a redundant functional execution.  Failures are
+        swallowed: a workload that cannot execute here will fail inside
+        a worker too, where the resilient runner records it properly.
+        """
+        if not trace_cache.disk_enabled():
+            return
+        for workload in dict.fromkeys(workloads):
+            try:
+                build_trace(workload, scale=self.runner.scale)
+            except Exception:  # noqa: BLE001 - worker reports the real error
+                continue
 
     # ------------------------------------------------------------------
 

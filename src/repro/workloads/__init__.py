@@ -1,14 +1,17 @@
 """Workload suite: microbenchmarks, case studies, and SPEC proxies."""
 
+from . import trace_cache
 from .data import Lcg, doubles_as_dwords, dwords, ring_permutation
-from .registry import (Workload, build_program, build_trace, clear_caches,
-                       get_workload, register, workload_names)
+from .registry import (ENGINE_ENV, Workload, build_program, build_trace,
+                       clear_caches, get_workload, register, workload_names)
 from .spec import SPEC_INTRATE
 
 __all__ = [
+    "ENGINE_ENV",
     "Lcg",
     "SPEC_INTRATE",
     "Workload",
+    "trace_cache",
     "build_program",
     "build_trace",
     "clear_caches",

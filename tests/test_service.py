@@ -451,3 +451,32 @@ def test_job_runner_spec_reflects_options():
     assert spec.mode == "linux"
     assert spec.scale == 0.4
     assert spec.use_cache is False
+
+
+# ----------------------------------------------------------------------
+# Trace-memoization metrics
+
+
+def test_trace_cache_metrics_surface_in_registry(monkeypatch):
+    from repro.workloads import clear_caches
+
+    monkeypatch.setenv("REPRO_EXEC_ENGINE", "compiled")
+    clear_caches()
+    service = make_service(workers=1, executor="inline").start()
+    try:
+        first = service.submit_payload(
+            {"workload": "towers", "scale": 0.3, "config": "rocket",
+             "use_cache": False})
+        second = service.submit_payload(
+            {"workload": "towers", "scale": 0.3, "config": "small-boom",
+             "use_cache": False})
+        wait_done(service, [first.record.id, second.record.id])
+        snapshot = service.metrics_snapshot()
+        counters = snapshot["counters"]
+        assert counters.get("trace_cache_misses", 0) == 1
+        hits = (counters.get("trace_cache_mem_hits", 0)
+                + counters.get("trace_cache_disk_hits", 0))
+        assert hits >= 1
+        assert snapshot["gauges"]["trace_cache_hit_rate"] >= 0.5
+    finally:
+        service.drain()

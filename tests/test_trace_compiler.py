@@ -1,0 +1,133 @@
+"""Compiled-vs-interpreted executor equivalence and load-time validation.
+
+The closure-compiled engine must be observably indistinguishable from
+the interpreted reference oracle: every committed dynamic instruction
+bit-identical, every halt reason and exit code equal, and every error
+raised with the same message — only faster.
+"""
+
+import pytest
+
+from repro.isa import (CompileError, ExecutionError, assemble,
+                       compile_program, execute, execute_compiled)
+from repro.isa.instructions import OPCODES, OperandFormat, OpSpec
+from repro.workloads import build_program, workload_names
+
+DYN_FIELDS = (
+    "index", "pc", "cls", "dest", "srcs", "latency", "next_pc",
+    "mnemonic", "mem_addr", "mem_width", "is_load", "is_store",
+    "is_branch", "taken", "is_fence", "csr", "csr_write",
+    "is_mem", "is_control_flow",
+)
+
+
+def assert_traces_identical(interpreted, compiled):
+    assert len(interpreted) == len(compiled)
+    assert interpreted.exit_code == compiled.exit_code
+    assert interpreted.halt_reason == compiled.halt_reason
+    assert list(interpreted.final_int_regs) == list(compiled.final_int_regs)
+    assert interpreted.instret == compiled.instret
+    for a, b in zip(interpreted, compiled):
+        for field in DYN_FIELDS:
+            assert getattr(a, field) == getattr(b, field), (
+                f"{field} differs at index {a.index} ({a.mnemonic})")
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_bit_identical_across_workload_registry(name):
+    program = build_program(name)
+    assert_traces_identical(execute(program), execute_compiled(program))
+
+
+def test_compiled_trace_metadata_matches():
+    program = assemble("""
+    _start:
+        li a0, 7
+        li a7, 93
+        ecall
+    """)
+    trace = execute_compiled(program)
+    assert trace.exit_code == 7
+    assert trace.halt_reason == "ecall"
+    assert trace.instret == len(trace)
+
+
+def test_halt_reason_ebreak_and_fell_off_text():
+    ebreak = assemble("_start:\n    ebreak\n")
+    assert_traces_identical(execute(ebreak), execute_compiled(ebreak))
+    assert execute_compiled(ebreak).halt_reason == "ebreak"
+
+    fall = assemble("_start:\n    addi a0, a0, 1\n")
+    assert_traces_identical(execute(fall), execute_compiled(fall))
+    assert execute_compiled(fall).halt_reason == "fell-off-text"
+
+
+def test_instruction_budget_message_parity():
+    program = assemble("""
+    _start:
+        j _start
+    """, name="spin")
+    with pytest.raises(ExecutionError) as interpreted:
+        execute(program, max_instructions=100)
+    with pytest.raises(ExecutionError) as compiled:
+        execute_compiled(program, max_instructions=100)
+    assert str(compiled.value) == str(interpreted.value)
+
+
+# ----------------------------------------------------------------------
+# Load-time validation: bad programs fail at compile_program(), not
+# mid-run (the interpreter only notices when dispatch reaches them).
+
+
+def _program_with_bad_mnemonic(mnemonic):
+    program = assemble("""
+    _start:
+        li a0, 1
+        li a7, 93
+        ecall
+    """, name="bad")
+    # Instruction() refuses unknown mnemonics, so corrupt one in place —
+    # exactly what a buggy program transform would produce.
+    program.instructions[0].mnemonic = mnemonic
+    return program
+
+
+def test_unknown_mnemonic_fails_at_compile_time():
+    program = _program_with_bad_mnemonic("bogus.op")
+    with pytest.raises(CompileError, match="unknown mnemonic.*bogus.op"):
+        compile_program(program, cache=False)
+
+
+def test_missing_semantic_handler_fails_at_compile_time(monkeypatch):
+    # A mnemonic with a spec but no semantic handler must also fail at
+    # load: the dispatch tables, not just OPCODES, are validated.
+    monkeypatch.setitem(
+        OPCODES, "fake.alu",
+        OpSpec("fake.alu", OPCODES["add"].cls, OperandFormat.R, 1,
+               writes_rd=True))
+    program = _program_with_bad_mnemonic("fake.alu")
+    with pytest.raises(CompileError, match="no ALU semantic handler"):
+        compile_program(program, cache=False)
+
+
+def test_validation_is_eager_not_lazy():
+    # The bad instruction sits on a never-taken path; compilation must
+    # reject it anyway, while the interpreter happily runs the program.
+    program = assemble("""
+    _start:
+        j _exit
+        li t0, 99
+    _exit:
+        li a0, 0
+        li a7, 93
+        ecall
+    """, name="dead-code")
+    program.instructions[1].mnemonic = "bogus.op"
+    assert execute(program).exit_code == 0  # interpreter never notices
+    with pytest.raises(CompileError):
+        compile_program(program, cache=False)
+
+
+def test_compile_cache_reused_per_program():
+    program = build_program("vvadd")
+    assert compile_program(program) is compile_program(program)
