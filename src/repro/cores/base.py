@@ -16,12 +16,42 @@ view the PMU counter architectures (Fig. 6) and the TracerV-style tracer
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Protocol
 
 from ..isa.errors import RunTimeout
 from ..uarch.branch import PredictorStats
 from ..uarch.cache import CacheConfig, CacheStats, L1D_32K
+
+#: Environment knob selecting the timing-engine implementation, the
+#: timing-layer mirror of ``REPRO_EXEC_ENGINE``:
+#:
+#: - ``columnar`` (default) — descriptor-compiled cycle loops reading
+#:   the :class:`~repro.isa.columnar.ColumnarTrace` columns directly;
+#: - ``objects``  — the original ``DynInst``-walking loops, kept as the
+#:   bit-identical reference oracle.
+TIMING_ENGINE_ENV = "REPRO_TIMING_ENGINE"
+
+#: Valid values for :data:`TIMING_ENGINE_ENV` / ``engine=`` arguments.
+TIMING_ENGINES = ("columnar", "objects")
+
+
+def resolve_timing_engine(override: Optional[str] = None) -> str:
+    """Resolve the timing engine: explicit *override*, else env, else default.
+
+    Raises ``ValueError`` on an unknown engine name so a typo in a CI
+    matrix or CLI flag fails loudly instead of silently running the
+    default engine.
+    """
+    engine = override if override is not None else os.environ.get(
+        TIMING_ENGINE_ENV, TIMING_ENGINES[0])
+    engine = engine.strip().lower()
+    if engine not in TIMING_ENGINES:
+        raise ValueError(
+            f"unknown timing engine {engine!r}; expected one of "
+            f"{', '.join(TIMING_ENGINES)}")
+    return engine
 
 
 class SignalObserver(Protocol):

@@ -75,7 +75,8 @@ class ColumnarTrace:
 
     __slots__ = ("static_ops", "sidx", "mem_addr", "next_pc", "taken",
                  "csr_writes", "program_name", "exit_code", "halt_reason",
-                 "final_int_regs", "instret", "_materialized")
+                 "final_int_regs", "instret", "_materialized",
+                 "_timing_tables")
 
     def __init__(self, static_ops: Tuple[StaticOp, ...],
                  program_name: str = "program",
@@ -94,6 +95,7 @@ class ColumnarTrace:
         self.final_int_regs: List[int] = final_int_regs or []
         self.instret = 0
         self._materialized: Optional[List[DynInst]] = None
+        self._timing_tables: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # container protocol / lazy materialization
@@ -127,6 +129,23 @@ class ColumnarTrace:
         if self._materialized is not None:
             return iter(self._materialized)
         return (self.materialize_one(i) for i in range(len(self.sidx)))
+
+    def timing_table(self, kind: str, builder) -> object:
+        """Per-trace cache of compiled timing-descriptor tables.
+
+        The columnar timing engines (``cores/descriptors.py``) compile
+        the ``static_ops`` tuple into flat per-static-op arrays once per
+        core family; *kind* keys the family (``"rocket"``/``"boom"``)
+        and *builder* receives ``static_ops`` on a miss.  Tables are
+        derived data: they live only on this in-memory instance and are
+        deliberately not serialized (``pack()``/``__reduce__`` ship
+        columns only; the receiving side recompiles on first use).
+        """
+        table = self._timing_tables.get(kind)
+        if table is None:
+            table = builder(self.static_ops)
+            self._timing_tables[kind] = table
+        return table
 
     @property
     def instructions(self) -> List[DynInst]:

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.tma import TmaResult, compute_tma
-from ..cores.base import BoomConfig, RocketConfig
+from ..cores.base import BoomConfig, RocketConfig, resolve_timing_engine
 from ..pmu.harness import Measurement, PerfHarness
 from ..tools import cache
 from ..workloads import trace_cache
@@ -120,10 +120,18 @@ class ResilientRunner:
                  max_cycles: Optional[int] = DEFAULT_MAX_CYCLES,
                  backoff_base: float = 0.0,
                  use_cache: bool = True,
+                 timing_engine: Optional[str] = None,
                  sleep: Callable[[float], None] = time.sleep) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
-        self.harness = harness or PerfHarness()
+        self.harness = harness or PerfHarness(timing_engine=timing_engine)
+        if timing_engine is not None:
+            # An explicit runner-level engine wins over whatever the
+            # supplied harness was built with (both engines are
+            # bit-identical, so this only changes *how* the result is
+            # computed, never the result).
+            self.harness.timing_engine = resolve_timing_engine(timing_engine)
+        self.timing_engine = self.harness.timing_engine
         self.checker = checker or TmaInvariantChecker()
         self.event_names = list(event_names) if event_names else None
         self.scale = scale
@@ -142,7 +150,8 @@ class ResilientRunner:
         return PerfHarness(core=config.core,
                            increment_mode=self.harness.increment_mode,
                            mode=self.harness.mode,
-                           fault_injector=self.harness.fault_injector)
+                           fault_injector=self.harness.fault_injector,
+                           timing_engine=self.timing_engine)
 
     def _events_for(self, config: CoreConfig) -> Optional[Sequence[str]]:
         """Configured event names, but only for the matching core."""

@@ -33,8 +33,10 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import replace
 from typing import Any, Dict, List, Optional
 
+from ..cores.base import resolve_timing_engine
 from .job import (DEFAULT_PRIORITY, MAX_PRIORITY, JobRecord,
                   JobValidationError, TMAJob, outcome_payload)
 from .metrics import MetricsRegistry
@@ -65,9 +67,17 @@ class TMAService:
                  executor_factory=None,
                  max_requeues: int = 2,
                  record_retention: int = DEFAULT_RECORD_RETENTION,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 timing_engine: Optional[str] = None) -> None:
         if record_retention < 1:
             raise ValueError("record_retention must be >= 1")
+        if timing_engine is not None:
+            timing_engine = resolve_timing_engine(timing_engine)
+        #: Timing-engine override stamped onto every worker-bound
+        #: :class:`~repro.tools.pool.RunnerSpec` (None defers to
+        #: ``REPRO_TIMING_ENGINE`` in the worker process).  Engines are
+        #: bit-identical, so this never changes job results or dedup.
+        self.timing_engine = timing_engine
         self.metrics = metrics or MetricsRegistry()
         self.scheduler = JobScheduler(capacity=queue_capacity)
         self.store = ResultStore()
@@ -133,8 +143,11 @@ class TMAService:
             self._in_flight += 1
         self.metrics.inc("jobs_executed")
         allow_crash_hook = record.requeues == 0
+        spec = record.job.runner_spec()
+        if self.timing_engine is not None:
+            spec = replace(spec, timing_engine=self.timing_engine)
         try:
-            future = self.pool.submit(record.job.runner_spec(),
+            future = self.pool.submit(spec,
                                       record.job.workload,
                                       record.job.config,
                                       allow_crash_hook)

@@ -3,13 +3,18 @@
 Runs the tier-2 performance set — the Fig. 7 Rocket workload suite
 single-run (traced vs. fast path), the functional layer (interpreted
 oracle vs. closure-compiled engine), the trace-memoization tiers
-(cold vs. warm), and the (workload x config) sweep (serial vs.
-parallel) — and writes a ``BENCH_*.json`` snapshot of:
+(cold vs. warm), the timing engines (columnar descriptor loops vs.
+the ``DynInst``-walking oracle, on Rocket and BOOM large), and the
+(workload x config) sweep (serial vs. parallel) — and writes a
+``BENCH_*.json`` snapshot of:
 
 - wall-clock and runs/sec for every mode,
 - the fast-path speedup over the traced path,
 - the compiled functional engine's speedup over the interpreter (with
   a bit-identical trace check),
+- the columnar timing engine's speedup over the object engine per
+  core model, in wall clock and simulated cycles/instructions per
+  second (with a bit-identical ``CoreResult`` check),
 - the warm trace-cache hit rate,
 - the parallel sweep's speedup over serial and its per-worker
   efficiency,
@@ -38,7 +43,8 @@ import re
 import shutil
 import tempfile
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import astuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..cores.configs import ROCKET
 from ..isa import execute, execute_compiled
@@ -54,7 +60,7 @@ from ..workloads import (
 from .parallel import ParallelSweepRunner
 
 #: Snapshot written by this PR's harness; bump per PR with a baseline.
-DEFAULT_OUTPUT = "BENCH_PR4.json"
+DEFAULT_OUTPUT = "BENCH_PR5.json"
 
 #: Ratio metrics the gate enforces ("section.key" paths).  Anything
 #: not listed here is informational only.  ``parallel.speedup`` is
@@ -64,6 +70,8 @@ DEFAULT_OUTPUT = "BENCH_PR4.json"
 GATED_METRICS = (
     "fastpath.speedup",
     "functional.speedup",
+    "timing.rocket.speedup",
+    "timing.boom_large.speedup",
     "parallel.efficiency",
 )
 
@@ -78,6 +86,23 @@ QUICK_WORKLOADS = (
     "spmv",
     "mergesort",
     "multiply",
+)
+
+#: Workloads for the timing-engine section: a fixed basket mixing FP
+#: kernels, streaming memory, sorting, and branchy spec proxies, so
+#: the engine ratio reflects every pipeline regime rather than one
+#: workload's personality.
+TIMING_WORKLOADS = (
+    "mm",
+    "spmv",
+    "vvadd",
+    "multiply",
+    "towers",
+    "mergesort",
+    "548.exchange2_r",
+    "531.deepsjeng_r",
+    "541.leela_r",
+    "coremark",
 )
 
 
@@ -147,6 +172,97 @@ def _bench_fastpath(
         "traced_runs_per_s": round(len(workloads) / traced_s, 3),
         "fast_runs_per_s": round(len(workloads) / fast_s, 3),
         "speedup": round(traced_s / fast_s, 3),
+    }
+
+
+def _core_result_digest(result) -> Tuple:
+    """Every observable field of one ``CoreResult``."""
+    return (
+        result.cycles,
+        result.instret,
+        tuple(sorted(result.events.items())),
+        tuple(sorted((k, tuple(v)) for k, v in result.lane_events.items())),
+        astuple(result.l1i_stats),
+        astuple(result.l1d_stats),
+        astuple(result.l2_stats),
+        astuple(result.predictor_stats),
+        tuple(sorted(result.extra.items())),
+    )
+
+
+def _bench_timing_core(
+    make_core_fn: Callable,
+    traces: Dict,
+    names: Sequence[str],
+) -> Dict[str, float]:
+    """Run the basket under both timing engines for one core model.
+
+    Fresh core per run (matching how ``tma_tool``/the harness run), one
+    pass per engine over shared prebuilt traces: each engine pays its
+    own per-trace compilation exactly once — ``DynInst``
+    materialization for the object engine, descriptor tables for the
+    columnar engine — which is what a cold sweep pays.  ``identical``
+    is a full field-by-field ``CoreResult`` comparison.
+    """
+
+    def one_pass(engine: str):
+        results = []
+        start = time.perf_counter()
+        for name in names:
+            results.append(make_core_fn().run(traces[name], engine=engine))
+        return time.perf_counter() - start, results
+
+    objects_s, objects_results = one_pass("objects")
+    columnar_s, columnar_results = one_pass("columnar")
+    identical = all(
+        _core_result_digest(a) == _core_result_digest(b)
+        for a, b in zip(objects_results, columnar_results)
+    )
+    cycles = sum(r.cycles for r in columnar_results)
+    instret = sum(r.instret for r in columnar_results)
+    return {
+        "workloads": len(names),
+        "simulated_cycles": cycles,
+        "simulated_instructions": instret,
+        "objects_wall_s": round(objects_s, 4),
+        "columnar_wall_s": round(columnar_s, 4),
+        "objects_kcycles_per_s": round(cycles / objects_s / 1e3, 1),
+        "columnar_kcycles_per_s": round(cycles / columnar_s / 1e3, 1),
+        "objects_kinst_per_s": round(instret / objects_s / 1e3, 1),
+        "columnar_kinst_per_s": round(instret / columnar_s / 1e3, 1),
+        "speedup": round(objects_s / columnar_s, 3),
+        "identical": identical,
+    }
+
+
+def _bench_timing(scale: float) -> Dict:
+    """Timing engines: descriptor-compiled columnar loops vs. oracle.
+
+    Both engines replay identical committed-path traces through the
+    same pipeline model, so the ratio isolates the engine's data
+    layout: slab-allocated columns indexed by static-op descriptors
+    vs. materialized ``DynInst``/µop objects.  Simulated cycles and
+    instructions per second are the throughput a (workload x config)
+    sweep experiences per core model.
+    """
+    from ..cores.boom import BoomCore
+    from ..cores.configs import LARGE_BOOM
+    from ..cores.rocket import RocketCore
+
+    names = TIMING_WORKLOADS
+    traces = {name: build_trace(name, scale=scale) for name in names}
+    rocket = _bench_timing_core(lambda: RocketCore(ROCKET), traces, names)
+    boom = _bench_timing_core(lambda: BoomCore(LARGE_BOOM), traces, names)
+    # Drop the section's residue: the object-engine passes cached a
+    # materialized DynInst list on every trace held by the in-memory
+    # tier, and forking that heap into pool workers measurably slows
+    # the parallel section (copy-on-write faults on refcount writes).
+    del traces
+    trace_cache.clear_memory()
+    return {
+        "rocket": rocket,
+        "boom_large": boom,
+        "identical": bool(rocket["identical"] and boom["identical"]),
     }
 
 
@@ -368,6 +484,7 @@ def run_benchmarks(
         "functional": _bench_functional(workloads, scale),
         "trace_cache": _bench_trace_cache(workloads, scale),
         "fastpath": _bench_fastpath(workloads, scale, inject_slowdown),
+        "timing": _bench_timing(scale),
         "parallel": _bench_parallel(workloads, scale, workers),
     }
 
@@ -430,6 +547,11 @@ def compare_benchmarks(
             "functional.identical: compiled and interpreted executors "
             "produced different traces"
         )
+    if not current.get("timing", {}).get("identical", True):
+        problems.append(
+            "timing.identical: columnar and object timing engines "
+            "produced different CoreResults"
+        )
     return problems
 
 
@@ -485,6 +607,21 @@ def render_payload(payload: Dict) -> str:
         f"fast {fast['fast_wall_s']:.2f}s "
         f"({fast['fast_runs_per_s']:.1f}/s)  "
         f"speedup {fast['speedup']:.2f}x",
+    ]
+    timing = payload.get("timing")
+    if timing:
+        for core_key in ("rocket", "boom_large"):
+            section = timing[core_key]
+            lines.append(
+                f"  timing[{core_key}]: {section['workloads']} workloads  "
+                f"objects {section['objects_wall_s']:.2f}s "
+                f"({section['objects_kcycles_per_s']:.0f} kcyc/s)  "
+                f"columnar {section['columnar_wall_s']:.2f}s "
+                f"({section['columnar_kcycles_per_s']:.0f} kcyc/s)  "
+                f"speedup {section['speedup']:.2f}x  "
+                f"identical={section['identical']}"
+            )
+    lines += [
         f"  parallel: {par['runs']} sweep pairs  "
         f"serial {par['serial_wall_s']:.2f}s  "
         f"{par['workers']} workers {par['parallel_wall_s']:.2f}s  "

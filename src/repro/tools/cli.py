@@ -25,7 +25,7 @@ from typing import List, Optional
 from ..core import (compute_tma, render_breakdown_table, render_result,
                     to_csv, to_json)
 from ..cores import CONFIGS_BY_NAME, config_by_name
-from ..cores.base import RocketConfig
+from ..cores.base import RocketConfig, TIMING_ENGINES
 from ..pmu import PerfHarness
 from ..pmu.harness import make_core
 from ..trace import (boom_tma_bundle, capture_trace, find_first,
@@ -33,6 +33,14 @@ from ..trace import (boom_tma_bundle, capture_trace, find_first,
 from ..vlsi import ARCHITECTURES, sweep
 from ..workloads import build_trace, get_workload, workload_names
 from .tma_tool import run_suite, run_tma
+
+
+def _add_timing_engine(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timing-engine", default=None,
+                        choices=sorted(TIMING_ENGINES),
+                        help="timing-engine implementation (default: "
+                             "REPRO_TIMING_ENGINE or columnar); the "
+                             "engines are bit-identical")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -56,7 +64,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_tma(args: argparse.Namespace) -> int:
     config = config_by_name(args.config)
     result = run_tma(args.workload, config, scale=args.scale,
-                     use_cache=not args.no_cache)
+                     use_cache=not args.no_cache,
+                     engine=args.timing_engine)
     print(render_result(result, show_level2=not args.top_only))
     return 0
 
@@ -65,7 +74,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     config = config_by_name(args.config)
     names = workload_names(args.category)
     results = run_suite(names, config, scale=args.scale,
-                        use_cache=not args.no_cache)
+                        use_cache=not args.no_cache,
+                        engine=args.timing_engine)
     print(render_breakdown_table(
         results,
         title=f"{args.category or 'all'} suite on {config.name}"))
@@ -174,7 +184,8 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     config = config_by_name(args.config)
     harness = PerfHarness(core=config.core,
                           increment_mode=args.counter_arch,
-                          mode=args.mode)
+                          mode=args.mode,
+                          timing_engine=args.timing_engine)
     events = args.events.split(",") if args.events else None
     measurement = harness.measure(args.workload, config,
                                   event_names=events, scale=args.scale)
@@ -280,7 +291,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = TMAService(workers=args.workers,
                          queue_capacity=args.queue_size,
                          executor=args.executor,
-                         record_retention=args.record_retention)
+                         record_retention=args.record_retention,
+                         timing_engine=args.timing_engine)
     service.start(resume=not args.no_resume)
     server = make_server(service, host=args.host, port=args.port,
                          verbose=args.verbose)
@@ -365,6 +377,13 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def bench_default_output() -> str:
+    """The bench snapshot filename for this PR (see ``tools.bench``)."""
+    from .bench import DEFAULT_OUTPUT
+
+    return DEFAULT_OUTPUT
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tma_tool", description=__doc__,
@@ -380,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tma.add_argument("--workload", required=True)
     p_tma.add_argument("--top-only", action="store_true")
     _add_common(p_tma)
+    _add_timing_engine(p_tma)
     p_tma.set_defaults(func=_cmd_tma)
 
     p_suite = sub.add_parser("suite", help="TMA table for a suite")
@@ -390,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--csv", default=None,
                          help="also write the results as CSV")
     _add_common(p_suite)
+    _add_timing_engine(p_suite)
     p_suite.set_defaults(func=_cmd_suite)
 
     p_mix = sub.add_parser("mix", help="dynamic instruction mix")
@@ -428,6 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["baremetal", "linux"])
     p_perf.add_argument("--show-tma", action="store_true")
     _add_common(p_perf)
+    _add_timing_engine(p_perf)
     p_perf.set_defaults(func=_cmd_perf)
 
     p_bench = sub.add_parser(
@@ -440,7 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--threshold", type=float, default=0.20,
                          help="allowed fractional regression on gated "
                               "ratio metrics")
-    p_bench.add_argument("--output", default="BENCH_PR4.json",
+    p_bench.add_argument("--output", default=bench_default_output(),
                          help="snapshot to write")
     p_bench.add_argument("--baseline", default="auto",
                          help="baseline BENCH_*.json ('auto' picks the "
@@ -488,6 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip resubmitting drain-persisted jobs")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request to stderr")
+    _add_timing_engine(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_submit = sub.add_parser(

@@ -62,6 +62,9 @@ class RunnerSpec:
     max_cycles: Optional[int] = DEFAULT_MAX_CYCLES
     backoff_base: float = 0.0
     use_cache: bool = True
+    #: Timing-engine override rebuilt into the worker-side harness
+    #: (None defers to ``REPRO_TIMING_ENGINE`` in the worker process).
+    timing_engine: Optional[str] = None
 
     @classmethod
     def from_runner(cls, runner: ResilientRunner) -> "RunnerSpec":
@@ -77,6 +80,7 @@ class RunnerSpec:
             max_cycles=runner.max_cycles,
             backoff_base=runner.backoff_base,
             use_cache=runner.use_cache,
+            timing_engine=runner.timing_engine,
         )
 
     def build(self) -> ResilientRunner:
@@ -86,6 +90,7 @@ class RunnerSpec:
             core=self.core,
             increment_mode=self.increment_mode,
             mode=self.mode,
+            timing_engine=self.timing_engine,
         )
         return ResilientRunner(
             harness=harness,

@@ -8,7 +8,7 @@ and applies the TMA model.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from ..core.tma import TmaResult, compute_tma
 from ..cores.base import BoomConfig, CoreResult, RocketConfig
@@ -23,11 +23,17 @@ CoreConfig = Union[RocketConfig, BoomConfig]
 
 
 def run_core(workload: str, config: CoreConfig, scale: float = 1.0,
-             use_cache: bool = True) -> CoreResult:
+             use_cache: bool = True,
+             engine: Optional[str] = None) -> CoreResult:
     """Replay *workload* through the timing model for *config*.
 
     Results are cached on disk keyed by a fingerprint of every module
     that influences timing, so repeated benchmark runs are cheap.
+
+    *engine* selects the timing-engine implementation (``None`` defers
+    to ``REPRO_TIMING_ENGINE``, default ``columnar``).  The engines are
+    bit-identical, so the disk cache is deliberately shared between
+    them: the key does not include the engine.
     """
     key = cache.cache_key(workload, scale, config)
     if use_cache:
@@ -39,24 +45,27 @@ def run_core(workload: str, config: CoreConfig, scale: float = 1.0,
         core = RocketCore(config)
     else:
         core = BoomCore(config)
-    result = core.run(trace)
+    result = core.run(trace, engine=engine)
     if use_cache:
         cache.store(key, result)
     return result
 
 
 def run_tma(workload: str, config: CoreConfig = LARGE_BOOM,
-            scale: float = 1.0, use_cache: bool = True) -> TmaResult:
+            scale: float = 1.0, use_cache: bool = True,
+            engine: Optional[str] = None) -> TmaResult:
     """End-to-end: workload name + core config -> TMA classification."""
     return compute_tma(run_core(workload, config, scale=scale,
-                                use_cache=use_cache))
+                                use_cache=use_cache, engine=engine))
 
 
 def run_suite(workloads: Sequence[str], config: CoreConfig,
               scale: float = 1.0,
-              use_cache: bool = True) -> List[TmaResult]:
+              use_cache: bool = True,
+              engine: Optional[str] = None) -> List[TmaResult]:
     """TMA for a list of workloads on one configuration."""
-    return [run_tma(name, config, scale=scale, use_cache=use_cache)
+    return [run_tma(name, config, scale=scale, use_cache=use_cache,
+                    engine=engine)
             for name in workloads]
 
 

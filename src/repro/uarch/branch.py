@@ -19,7 +19,7 @@ implementation is different" explanation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -177,7 +177,13 @@ class RocketBranchPredictor:
 class _TageTable:
     """One tagged TAGE component."""
 
-    __slots__ = ("entries", "history_length", "_tags", "_ctr", "_useful")
+    __slots__ = ("entries", "history_length", "_tags", "_ctr", "_useful",
+                 "_hist_mask", "_index_bits", "_index_mask", "_folds")
+
+    #: Fold-pair memo bound; loopy traces revisit a few hundred masked
+    #: histories, so the memo stays tiny — the cap only guards
+    #: pathological history churn.
+    _FOLD_CACHE_LIMIT = 1 << 16
 
     def __init__(self, entries: int, history_length: int) -> None:
         self.entries = entries
@@ -185,9 +191,38 @@ class _TageTable:
         self._tags = [0] * entries
         self._ctr = [0] * entries      # signed -4..3, taken when >= 0
         self._useful = [0] * entries
+        self._hist_mask = (1 << history_length) - 1
+        self._index_bits = entries.bit_length() - 1
+        self._index_mask = entries - 1
+        # Masked history -> (index fold, tag fold).  Folding is a pure
+        # function of the masked history, and index()/tag() are always
+        # interrogated together, so one memo feeds both.
+        self._folds: Dict[int, Tuple[int, int]] = {}
+
+    def _fold_pair(self, history: int) -> Tuple[int, int]:
+        history &= self._hist_mask
+        pair = self._folds.get(history)
+        if pair is None:
+            bits = self._index_bits
+            mask = (1 << bits) - 1
+            idx_fold = 0
+            h = history
+            while h:
+                idx_fold ^= h & mask
+                h >>= bits
+            tag_fold = 0
+            h = history
+            while h:
+                tag_fold ^= h & 0xFF
+                h >>= 8
+            if len(self._folds) >= self._FOLD_CACHE_LIMIT:
+                self._folds.clear()
+            pair = (idx_fold, tag_fold)
+            self._folds[history] = pair
+        return pair
 
     def _fold(self, history: int, bits: int) -> int:
-        history &= (1 << self.history_length) - 1
+        history &= self._hist_mask
         folded = 0
         while history:
             folded ^= history & ((1 << bits) - 1)
@@ -195,37 +230,40 @@ class _TageTable:
         return folded
 
     def index(self, pc: int, history: int) -> int:
-        bits = self.entries.bit_length() - 1
-        return ((pc >> 2) ^ self._fold(history, bits)) & (self.entries - 1)
+        return ((pc >> 2) ^ self._fold_pair(history)[0]) & self._index_mask
 
     def tag(self, pc: int, history: int) -> int:
-        return (((pc >> 2) ^ self._fold(history, 8) ^ 0x55) & 0xFF) or 1
+        return (((pc >> 2) ^ self._fold_pair(history)[1] ^ 0x55) & 0xFF) or 1
 
     def lookup(self, pc: int, history: int) -> Optional[bool]:
-        idx = self.index(pc, history)
-        if self._tags[idx] == self.tag(pc, history):
+        idx_fold, tag_fold = self._fold_pair(history)
+        idx = ((pc >> 2) ^ idx_fold) & self._index_mask
+        if self._tags[idx] == ((((pc >> 2) ^ tag_fold ^ 0x55) & 0xFF) or 1):
             return self._ctr[idx] >= 0
         return None
 
     def update(self, pc: int, history: int, taken: bool) -> None:
-        idx = self.index(pc, history)
-        if self._tags[idx] == self.tag(pc, history):
+        idx_fold, tag_fold = self._fold_pair(history)
+        idx = ((pc >> 2) ^ idx_fold) & self._index_mask
+        if self._tags[idx] == ((((pc >> 2) ^ tag_fold ^ 0x55) & 0xFF) or 1):
             delta = 1 if taken else -1
             self._ctr[idx] = max(-4, min(3, self._ctr[idx] + delta))
 
     def allocate(self, pc: int, history: int, taken: bool) -> bool:
-        idx = self.index(pc, history)
+        idx_fold, tag_fold = self._fold_pair(history)
+        idx = ((pc >> 2) ^ idx_fold) & self._index_mask
         if self._useful[idx] > 0:
             self._useful[idx] -= 1
             return False
-        self._tags[idx] = self.tag(pc, history)
+        self._tags[idx] = (((pc >> 2) ^ tag_fold ^ 0x55) & 0xFF) or 1
         self._ctr[idx] = 0 if taken else -1
         self._useful[idx] = 0
         return True
 
     def mark_useful(self, pc: int, history: int) -> None:
-        idx = self.index(pc, history)
-        if self._tags[idx] == self.tag(pc, history):
+        idx_fold, tag_fold = self._fold_pair(history)
+        idx = ((pc >> 2) ^ idx_fold) & self._index_mask
+        if self._tags[idx] == ((((pc >> 2) ^ tag_fold ^ 0x55) & 0xFF) or 1):
             self._useful[idx] = min(3, self._useful[idx] + 1)
 
 
@@ -240,21 +278,23 @@ class TagePredictor:
         self.base = BHT(bimodal_entries, init=bimodal_init)
         self.tables = [_TageTable(table_entries, length)
                        for length in self.HISTORY_LENGTHS]
+        self._provider_names = tuple(f"tage{length}"
+                                     for length in self.HISTORY_LENGTHS)
         self.history = 0
 
     def predict(self, pc: int) -> Tuple[bool, str]:
         """Return (direction, provider_name)."""
-        for table in reversed(self.tables):
-            result = table.lookup(pc, self.history)
+        for i in range(len(self.tables) - 1, -1, -1):
+            result = self.tables[i].lookup(pc, self.history)
             if result is not None:
-                return result, f"tage{table.history_length}"
+                return result, self._provider_names[i]
         return self.base.predict(pc), "bimodal"
 
     def update(self, pc: int, taken: bool, provider: str,
                predicted: bool) -> None:
         provider_index = -1
-        for i, table in enumerate(self.tables):
-            if provider == f"tage{table.history_length}":
+        for i, name in enumerate(self._provider_names):
+            if provider == name:
                 provider_index = i
                 break
         if provider_index >= 0:

@@ -188,6 +188,14 @@ class MSHRFile:
     def __init__(self, num_entries: int) -> None:
         self.num_entries = num_entries
         self._entries: Dict[int, MSHR] = {}
+        # Largest ready_cycle among current entries (0 when empty).  If
+        # the watermark entry is ever reapable, every entry is (all
+        # readies <= max <= cycle), so the file empties and the
+        # watermark resets — the invariant survives without rescans.
+        self._max_ready = 0
+        # Smallest ready_cycle among current entries (huge when empty):
+        # lets _reap bail out without scanning when nothing is due.
+        self._min_ready = 1 << 62
         self.allocations = 0
         self.merges = 0
         self.full_stalls = 0
@@ -199,9 +207,11 @@ class MSHRFile:
 
     def refill_in_flight(self, cycle: int) -> bool:
         """True when at least one refill is outstanding at *cycle*."""
-        return any(e.ready_cycle > cycle for e in self._entries.values())
+        return self._max_ready > cycle
 
     def is_full(self, cycle: int) -> bool:
+        if len(self._entries) < self.num_entries:
+            return False
         self._reap(cycle)
         return len(self._entries) >= self.num_entries
 
@@ -225,13 +235,25 @@ class MSHRFile:
             return None
         entry = MSHR(block, ready_cycle)
         self._entries[block] = entry
+        if ready_cycle > self._max_ready:
+            self._max_ready = ready_cycle
+        if ready_cycle < self._min_ready:
+            self._min_ready = ready_cycle
         self.allocations += 1
         return entry
 
     def _reap(self, cycle: int) -> None:
+        if self._min_ready > cycle:
+            return
         done = [b for b, e in self._entries.items() if e.ready_cycle <= cycle]
         for block in done:
             del self._entries[block]
+        if not self._entries:
+            self._max_ready = 0
+            self._min_ready = 1 << 62
+        else:
+            self._min_ready = min(e.ready_cycle
+                                  for e in self._entries.values())
 
 
 class NonBlockingCache:
