@@ -1,0 +1,424 @@
+"""The ``repro-tma chaos`` campaign: inject faults, verify end state.
+
+The campaign attacks the stack at its real seams and then checks the
+*end-state invariants* that the reliability layer promises survive any
+schedule of those faults:
+
+**Sweep phases** (process-pool grid sweeps):
+
+1. *Oracle* — the grid runs chaos-free in an isolated cache directory;
+   its merged results are digested as the ground truth.
+2. *Chaos pass 1* — the same grid runs under the plan in a second
+   isolated directory: pool workers are killed mid-shard, cache writes
+   are truncated/bit-flipped/ENOSPC'd.  Every pair must still complete
+   (parent-side recovery) and the merged results must digest
+   identically to the oracle.
+3. *Chaos pass 2* — the grid runs again in the same directory, so this
+   pass *reads* the cache entries pass 1 corrupted: checksums must
+   catch every mangled entry (quarantine + re-run), and the digest
+   must again equal the oracle's.
+
+**Service phase**: a real HTTP service (thread executor) takes a
+duplicate-heavy burst from a chaotic client (refused/reset/delayed
+requests) while the scheduler suffers injected stalls; after a drain,
+the zero-loss ledger (``completed + failed + persisted == accepted``),
+dedup exactness (followers resolve with their primary's state and
+result), and the bounded-execution promise are checked on the service
+object itself.
+
+**Determinism.** The report holds only values that are pure functions
+of ``(seed, grid)``: verdict booleans, plan-*enumerated* fault counts
+(never runtime counters, which shift with scheduling), submission
+counts fixed by construction, and result digests.  Two runs with the
+same seed must produce byte-identical reports — the chaos smoke test
+enforces exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..cores import config_by_name
+from ..reliability.retry import RetryPolicy
+from ..reliability.runner import ResilientRunner, SweepReport
+from ..tools import cache
+from ..workloads import trace_cache
+from . import injector
+from .plan import ChaosPlan
+
+#: Default campaign grid: small, fast, and wide enough that the
+#: standard plan's rates light every seam.
+DEFAULT_WORKLOADS = ("median", "qsort", "towers")
+DEFAULT_CONFIGS = ("rocket", "large-boom")
+DEFAULT_SCALE = 0.2
+
+REPORT_VERSION = 1
+
+_CACHE_ENV = "REPRO_CACHE_DIR"
+
+
+def campaign_plan(seed: int) -> ChaosPlan:
+    """The default campaign plan: rates sized for the small grid.
+
+    :meth:`ChaosPlan.standard` rates are tuned for long-running soak
+    grids; on the campaign's ~6-pair grid they can draw zero faults on
+    a given seam for a given seed.  The campaign wants every seam lit,
+    so its default plan runs hotter — the fault schedule is still a
+    pure function of the seed.
+    """
+    from dataclasses import replace
+
+    return replace(ChaosPlan.standard(seed),
+                   worker_kill_rate=0.45,
+                   disk_fault_rate=0.6,
+                   client_fault_rate=0.35)
+
+
+@contextmanager
+def _isolated_cache_dir(root: str, name: str) -> Iterator[str]:
+    """Point the result/trace caches at a fresh directory under *root*."""
+    directory = os.path.join(root, name)
+    os.makedirs(directory, exist_ok=True)
+    previous = os.environ.get(_CACHE_ENV)
+    os.environ[_CACHE_ENV] = directory
+    trace_cache.clear_memory()
+    try:
+        yield directory
+    finally:
+        if previous is None:
+            os.environ.pop(_CACHE_ENV, None)
+        else:
+            os.environ[_CACHE_ENV] = previous
+        trace_cache.clear_memory()
+
+
+def _result_digest(report: SweepReport) -> str:
+    """Canonical digest of a sweep's merged results.
+
+    Folds, per pair in grid order: identity, status, and the exact
+    serialized :class:`CoreResult`.  Deliberately excludes attempt
+    counts, trace-cache counters, and quarantine flags — those describe
+    *how* the sweep got there, which chaos legitimately changes; the
+    digest captures *what* it produced, which chaos must not.
+    """
+    pairs: List[Dict[str, Any]] = []
+    for outcome in report.outcomes:
+        measurement = outcome.measurement
+        pairs.append({
+            "workload": outcome.workload,
+            "config": outcome.config_name,
+            "status": outcome.status,
+            "result": (cache.serialize_result(measurement.result)
+                       if measurement is not None
+                       and measurement.result is not None else None),
+        })
+    canonical = json.dumps(pairs, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass
+class CampaignReport:
+    """Deterministic verdict of one chaos campaign."""
+
+    version: int = REPORT_VERSION
+    seed: int = 0
+    plan: Dict[str, Any] = field(default_factory=dict)
+    sweep: Dict[str, Any] = field(default_factory=dict)
+    service: Dict[str, Any] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "seed": self.seed,
+            "plan": self.plan,
+            "sweep": self.sweep,
+            "service": self.service,
+            "violations": list(self.violations),
+            "passed": self.passed,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True, indent=2)
+
+    def render(self) -> str:
+        lines = [f"chaos campaign: seed={self.seed} "
+                 f"{'PASSED' if self.passed else 'FAILED'}"]
+        sweep = self.sweep
+        lines.append(
+            f"  sweep: {sweep.get('pairs')} pairs, "
+            f"kills planned={sweep.get('worker_kills_planned')}, "
+            f"disk faults planned={sweep.get('disk_faults_planned')}, "
+            f"oracle match pass1={sweep.get('pass1_identical')} "
+            f"pass2={sweep.get('pass2_identical')}, "
+            f"corrupt entries detected={sweep.get('corruption_detected')}")
+        service = self.service
+        if service:
+            lines.append(
+                f"  service: {service.get('submissions')} submissions "
+                f"({service.get('unique_jobs')} unique), "
+                f"client faults planned="
+                f"{service.get('client_faults_planned')}, "
+                f"zero loss={service.get('zero_loss')}, "
+                f"dedup exact={service.get('dedup_exact')}, "
+                f"executions bounded={service.get('executions_bounded')}")
+        else:
+            lines.append("  service: phase skipped")
+        if self.violations:
+            lines.append("  violations:")
+            lines.extend(f"    - {violation}" for violation in self.violations)
+        else:
+            lines.append("  all invariants held")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Sweep phases
+
+
+def _make_runner(scale: float, seed: int) -> ResilientRunner:
+    return ResilientRunner(
+        scale=scale,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0, seed=seed))
+
+
+def _sweep_once(workloads: Sequence[str], configs: Sequence[Any],
+                scale: float, seed: int, workers: int) -> SweepReport:
+    from ..tools.parallel import ParallelSweepRunner
+
+    engine = ParallelSweepRunner(runner=_make_runner(scale, seed),
+                                 max_workers=workers, seed=seed)
+    return engine.run_grid(list(workloads), list(configs))
+
+
+def _run_sweep_phase(report: CampaignReport, plan: ChaosPlan, root: str,
+                     workloads: Sequence[str], config_names: Sequence[str],
+                     scale: float, workers: int) -> None:
+    configs = [config_by_name(name) for name in config_names]
+    pairs = [(w, c) for w in workloads for c in configs]
+    policy_cap = _make_runner(scale, plan.seed).retry_policy.max_attempts
+
+    # Plan-enumerated fault schedule over the sweep's known key space —
+    # deterministic, and computable without executing anything.
+    kill_keys = [f"shard:{w}:{c.name}" for w, c in pairs]
+    result_keys = {(w, c.name): cache.cache_key(w, scale, c)
+                   for w, c in pairs}
+    disk_keys = ([f"result-cache:{key}" for key in result_keys.values()]
+                 + [f"trace-cache:{trace_cache.trace_key(w, scale)}"
+                    for w in dict.fromkeys(workloads)])
+    planned_kills = plan.planned_faults("worker_kill", kill_keys)
+    planned_disk = plan.planned_faults("disk_fault", disk_keys)
+    #: Result-cache faults that leave a *corrupt entry on disk* (ENOSPC
+    #: leaves no entry at all), i.e. exactly what pass 2 must detect
+    #: and quarantine.
+    planned_corrupting = [
+        (key, flavor) for key, flavor in planned_disk
+        if key.startswith("result-cache:") and flavor != "enospc"]
+
+    with _isolated_cache_dir(root, "oracle"):
+        injector.deactivate()
+        oracle = _sweep_once(workloads, configs, scale, plan.seed, workers)
+    oracle_digest = _result_digest(oracle)
+
+    with _isolated_cache_dir(root, "chaos"):
+        with injector.active(plan):
+            pass1 = _sweep_once(workloads, configs, scale, plan.seed, workers)
+            pass2 = _sweep_once(workloads, configs, scale, plan.seed, workers)
+    pass1_digest = _result_digest(pass1)
+    pass2_digest = _result_digest(pass2)
+
+    grid_size = len(pairs)
+    attempts_max = max(
+        [o.attempts for o in pass1.outcomes + pass2.outcomes] or [0])
+    detected = sorted(set(pass2.quarantined_keys))
+    expected_corrupt = sorted(
+        {key.split(":", 1)[1] for key, _ in planned_corrupting})
+
+    report.sweep = {
+        "pairs": grid_size,
+        "workloads": list(workloads),
+        "configs": list(config_names),
+        "scale": scale,
+        "oracle_digest": oracle_digest,
+        "pass1_digest": pass1_digest,
+        "pass2_digest": pass2_digest,
+        "pass1_identical": pass1_digest == oracle_digest,
+        "pass2_identical": pass2_digest == oracle_digest,
+        "worker_kills_planned": len(planned_kills),
+        "disk_faults_planned": len(planned_disk),
+        "corrupt_entries_planned": len(expected_corrupt),
+        "corrupt_entries_detected": len(detected),
+        "corruption_detected": detected == expected_corrupt,
+        "attempts_max": attempts_max,
+        "retries_bounded": attempts_max <= policy_cap,
+        "statuses": sorted({o.status
+                            for o in pass1.outcomes + pass2.outcomes}),
+    }
+
+    for label, sweep_report in (("oracle", oracle), ("pass1", pass1),
+                                ("pass2", pass2)):
+        if len(sweep_report.outcomes) != grid_size:
+            report.violations.append(
+                f"sweep/{label}: {len(sweep_report.outcomes)} outcomes "
+                f"for a {grid_size}-pair grid (pairs lost)")
+    if not report.sweep["pass1_identical"]:
+        report.violations.append(
+            "sweep/pass1: merged results diverge from the fault-free "
+            "oracle")
+    if not report.sweep["pass2_identical"]:
+        report.violations.append(
+            "sweep/pass2: merged results diverge from the fault-free "
+            "oracle after reading chaos-corrupted caches")
+    if not report.sweep["corruption_detected"]:
+        report.violations.append(
+            f"sweep/pass2: corrupted cache entries not exactly "
+            f"quarantined (expected {expected_corrupt}, got {detected})")
+    if not report.sweep["retries_bounded"]:
+        report.violations.append(
+            f"sweep: attempts reached {attempts_max}, above the retry "
+            f"policy cap of {policy_cap}")
+
+
+# ----------------------------------------------------------------------
+# Service phase
+
+
+def _run_service_phase(report: CampaignReport, plan: ChaosPlan, root: str,
+                       workloads: Sequence[str], config_name: str,
+                       scale: float, submissions_per_job: int) -> None:
+    from ..service import ServiceClient, TMAService, serve_in_thread
+    from ..service.client import JobRejected, ServiceError
+
+    #: Duplicate-heavy burst: each unique job is submitted this many
+    #: times, so dedup/coalescing is always exercised.
+    unique_jobs = [(w, config_name) for w in workloads]
+    burst: List[Tuple[str, str]] = []
+    for _ in range(submissions_per_job):
+        burst.extend(unique_jobs)
+    client_keys = [f"POST:/jobs:req-{i}" for i in range(len(burst))]
+    planned_client = plan.planned_faults("client_fault", client_keys)
+
+    with _isolated_cache_dir(root, "service"):
+        with injector.active(plan):
+            service = TMAService(workers=2, queue_capacity=32,
+                                 executor="thread")
+            service.start(resume=False)
+            server, thread = serve_in_thread(service)
+            host, port = server.server_address[:2]
+            client = ServiceClient(
+                f"http://{host}:{port}",
+                retry_policy=RetryPolicy(max_attempts=4, base_delay=0.0,
+                                         seed=plan.seed))
+            transport_failures = 0
+            try:
+                for workload, config in burst:
+                    try:
+                        client.submit(workload, retries=8, config=config,
+                                      scale=scale, client="chaos")
+                    except (JobRejected, ServiceError):
+                        # Chaos refused/reset the submission before it
+                        # reached the server, or backpressure outlasted
+                        # the retry budget — either way the server never
+                        # accepted it, so its ledger stays consistent.
+                        transport_failures += 1
+                # Exercise the idempotent retry path under chaos too.
+                for _ in range(3):
+                    try:
+                        client.metrics()
+                    except ServiceError:
+                        transport_failures += 1
+                drain = service.drain(timeout=60.0)
+            finally:
+                server.shutdown()
+                thread.join(timeout=5.0)
+
+            metrics = service.metrics_snapshot()
+            records = service.records()
+
+    counters = metrics.get("counters", metrics)
+    accepted = drain.get("accepted", 0)
+    completed = drain.get("completed", 0)
+    failed = drain.get("failed", 0)
+    persisted = drain.get("persisted", 0)
+    zero_loss = completed + failed + persisted == accepted
+
+    # Dedup exactness: every coalesced follower must resolve with its
+    # primary's state and result payload.
+    by_id = {record.id: record for record in records}
+    dedup_exact = True
+    for record in records:
+        if record.coalesced_with is None:
+            continue
+        primary = by_id.get(record.coalesced_with)
+        if primary is None:
+            continue  # primary evicted by retention; nothing to compare
+        if (record.state != primary.state
+                or record.result != primary.result):
+            dedup_exact = False
+            break
+
+    executed = counters.get("jobs_executed", 0)
+    max_executions = len(unique_jobs) * (1 + service.max_requeues)
+    executions_bounded = executed <= max_executions
+
+    report.service = {
+        "submissions": len(burst),
+        "unique_jobs": len(unique_jobs),
+        "client_faults_planned": len(planned_client),
+        "zero_loss": zero_loss,
+        "dedup_exact": dedup_exact,
+        "executions_bounded": executions_bounded,
+    }
+
+    if not zero_loss:
+        report.violations.append(
+            f"service: job-loss ledger broken — completed={completed} "
+            f"+ failed={failed} + persisted={persisted} != "
+            f"accepted={accepted}")
+    if not dedup_exact:
+        report.violations.append(
+            "service: a coalesced follower resolved with a different "
+            "state/result than its primary")
+    if not executions_bounded:
+        report.violations.append(
+            f"service: {executed} executions for {len(unique_jobs)} "
+            f"unique jobs (bound {max_executions}) — dedup or requeue "
+            f"bounds broken")
+
+
+# ----------------------------------------------------------------------
+
+
+def run_campaign(seed: int = 1234,
+                 plan: Optional[ChaosPlan] = None,
+                 workloads: Sequence[str] = DEFAULT_WORKLOADS,
+                 config_names: Sequence[str] = DEFAULT_CONFIGS,
+                 scale: float = DEFAULT_SCALE,
+                 workers: int = 2,
+                 submissions_per_job: int = 4,
+                 skip_service: bool = False) -> CampaignReport:
+    """Run the full chaos campaign; returns a deterministic report.
+
+    All phases run inside isolated temporary cache directories, so a
+    campaign never touches (or trusts) the developer's warm cache.
+    """
+    if plan is None:
+        plan = campaign_plan(seed)
+    report = CampaignReport(seed=plan.seed, plan=plan.to_payload())
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as root:
+        _run_sweep_phase(report, plan, root, workloads, config_names,
+                         scale, workers)
+        if not skip_service:
+            _run_service_phase(report, plan, root, workloads,
+                               config_names[0], scale, submissions_per_job)
+    return report

@@ -73,3 +73,14 @@ class RunTimeout(ReliabilityError):
 
 class CacheIntegrityError(ReliabilityError):
     """A disk-cache entry failed checksum or schema validation."""
+
+
+class DeadlineExceeded(ReliabilityError):
+    """A run's wall-clock deadline lapsed before (or between) attempts.
+
+    Deadlines propagate from the CLI or a service job through
+    :class:`~repro.tools.pool.RunnerSpec` into the resilient runner,
+    which checks them between retry attempts: a pair that cannot start
+    (or restart) before its deadline fails with this error instead of
+    burning pool time on work nobody is still waiting for.
+    """

@@ -9,18 +9,28 @@ The subsystem that proves the rest of the pipeline trustworthy:
 - :mod:`repro.reliability.invariants` — the TMA invariant catalog
   (slot conservation, PMU-vs-core agreement, multiplex agreement,
   scale monotonicity) raising a structured error taxonomy.
+- :mod:`repro.reliability.retry` — the single
+  :class:`RetryPolicy` (capped exponential backoff, deterministic
+  jitter, deadline awareness) shared by the runner, the worker pool,
+  and the service client.
+- :mod:`repro.reliability.breaker` — per-key
+  :class:`CircuitBreaker` registry (closed / open / half-open) so
+  repeatedly-failing pairs are quarantined instead of re-executed.
 - :mod:`repro.reliability.runner` — a resilient (workload x config)
-  batch runner with watchdogs, bounded retry, cache quarantine, and
-  partial-result reporting.
+  batch runner with watchdogs, policy-driven retry, deadlines, circuit
+  breaking, cache quarantine, and partial-result reporting.
 - :mod:`repro.reliability.campaign` — the end-to-end fault-injection
   campaign: inject faults, demand the checker catches 100% of them.
+  (System-level chaos campaigns live in :mod:`repro.chaos`.)
 """
 
+from .breaker import BreakerState, CircuitBreaker
 from .campaign import (CAMPAIGN_EVENTS, CampaignReport, FaultTrial,
                        run_campaign)
 from .errors import (CacheIntegrityError, CounterCorruption,
-                     ReliabilityError, RunTimeout,
+                     DeadlineExceeded, ReliabilityError, RunTimeout,
                      SlotConservationViolation)
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .faults import (BITFLIP_COUNTER, CORRUPT_CACHE, DROP_INCREMENTS,
                      FAULT_CLASSES, FaultInjector, FaultPlan, FaultSpec,
                      STALL_CORE, TRUNCATE_TRACE)
@@ -30,13 +40,17 @@ from .runner import (DEFAULT_MAX_CYCLES, ResilientRunner, RunOutcome,
 
 __all__ = [
     "BITFLIP_COUNTER",
+    "BreakerState",
     "CAMPAIGN_EVENTS",
     "CORRUPT_CACHE",
     "CacheIntegrityError",
     "CampaignReport",
+    "CircuitBreaker",
+    "DEFAULT_RETRY_POLICY",
     "CounterCorruption",
     "DEFAULT_MAX_CYCLES",
     "DROP_INCREMENTS",
+    "DeadlineExceeded",
     "EXACT_INCREMENT_MODES",
     "FAULT_CLASSES",
     "FaultInjector",
@@ -45,6 +59,7 @@ __all__ = [
     "FaultTrial",
     "ReliabilityError",
     "ResilientRunner",
+    "RetryPolicy",
     "RunOutcome",
     "RunTimeout",
     "STALL_CORE",

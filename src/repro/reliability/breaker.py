@@ -1,0 +1,158 @@
+"""Per-key circuit breakers: stop burning pool slots on a broken pair.
+
+A (workload, config) pair — or a service job key — that keeps failing
+identically will keep failing: re-dispatching it burns worker slots,
+starves healthy work, and floods the report with the same error.  A
+:class:`CircuitBreaker` watches terminal failures per key and applies
+the classic three-state contract:
+
+- **closed** — failures are counted; ``failure_threshold`` consecutive
+  terminal failures trip the circuit;
+- **open** — the key is refused outright (callers report the pair
+  ``quarantined`` instead of executing it) until ``cooldown`` seconds
+  of wall-clock have passed;
+- **half-open** — after the cooldown, exactly one probe execution is
+  admitted; success closes the circuit, failure re-opens it for
+  another cooldown.
+
+The clock is injectable, so tests and the deterministic chaos campaign
+drive state transitions without sleeping.  All methods are thread-safe:
+the service's dispatcher and HTTP handlers share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass
+class BreakerState:
+    """Mutable per-key circuit state."""
+
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    opened_at: Optional[float] = None
+    #: True while the single half-open probe is outstanding.
+    probe_in_flight: bool = False
+    trips: int = 0
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+        }
+
+
+@dataclass
+class CircuitBreaker:
+    """Thread-safe registry of per-key circuits."""
+
+    #: Consecutive terminal failures that trip a key open.
+    failure_threshold: int = 3
+    #: Seconds a tripped key stays open before a half-open probe.
+    cooldown: float = 30.0
+    #: Injectable wall clock (monotonic preferred in production).
+    clock: Callable[[], float] = time.monotonic
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+    _keys: Dict[str, BreakerState] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+
+    # ------------------------------------------------------------------
+
+    def _state(self, key: str) -> BreakerState:
+        state = self._keys.get(key)
+        if state is None:
+            state = self._keys[key] = BreakerState()
+        return state
+
+    def allow(self, key: str) -> bool:
+        """May *key* execute now?  (May admit a half-open probe.)"""
+        with self._lock:
+            entry = self._state(key)
+            if entry.state == CLOSED:
+                return True
+            if entry.state == OPEN:
+                opened = entry.opened_at if entry.opened_at is not None else 0
+                if self.clock() - opened < self.cooldown:
+                    return False
+                entry.state = HALF_OPEN
+                entry.probe_in_flight = False
+            # half-open: exactly one probe at a time.
+            if entry.probe_in_flight:
+                return False
+            entry.probe_in_flight = True
+            return True
+
+    def record_success(self, key: str) -> None:
+        """A terminal success: close the circuit and reset the count."""
+        with self._lock:
+            entry = self._state(key)
+            entry.state = CLOSED
+            entry.consecutive_failures = 0
+            entry.opened_at = None
+            entry.probe_in_flight = False
+
+    def record_failure(self, key: str) -> None:
+        """A terminal failure: count it; trip or re-open as needed."""
+        with self._lock:
+            entry = self._state(key)
+            entry.consecutive_failures += 1
+            entry.probe_in_flight = False
+            tripped = (entry.state == HALF_OPEN
+                       or entry.consecutive_failures
+                       >= self.failure_threshold)
+            if tripped:
+                if entry.state != OPEN:
+                    entry.trips += 1
+                entry.state = OPEN
+                entry.opened_at = self.clock()
+
+    # ------------------------------------------------------------------
+
+    def state(self, key: str) -> str:
+        """Current state name for *key* (untouched keys are closed)."""
+        with self._lock:
+            entry = self._keys.get(key)
+            if entry is None:
+                return CLOSED
+            if (entry.state == OPEN and entry.opened_at is not None
+                    and self.clock() - entry.opened_at >= self.cooldown):
+                return HALF_OPEN
+            return entry.state
+
+    def open_keys(self) -> Dict[str, BreakerState]:
+        """Snapshot of every currently-tripped key."""
+        with self._lock:
+            return {key: BreakerState(**vars(entry))
+                    for key, entry in self._keys.items()
+                    if entry.state != CLOSED}
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready per-key state map (for /metrics and reports)."""
+        with self._lock:
+            return {key: entry.to_payload()
+                    for key, entry in self._keys.items()}
+
+    def reset(self, key: Optional[str] = None) -> None:
+        """Forget one key's history (or everything, when key is None)."""
+        with self._lock:
+            if key is None:
+                self._keys.clear()
+            else:
+                self._keys.pop(key, None)

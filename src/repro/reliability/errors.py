@@ -11,11 +11,13 @@ checker itself detects, and re-exports the whole family so callers can
 
 from __future__ import annotations
 
-from ..isa.errors import CacheIntegrityError, ReliabilityError, RunTimeout
+from ..isa.errors import (CacheIntegrityError, DeadlineExceeded,
+                          ReliabilityError, RunTimeout)
 
 __all__ = [
     "CacheIntegrityError",
     "CounterCorruption",
+    "DeadlineExceeded",
     "ReliabilityError",
     "RunTimeout",
     "SlotConservationViolation",

@@ -37,6 +37,7 @@ from dataclasses import replace
 from typing import Any, Dict, List, Optional
 
 from ..cores.base import resolve_timing_engine
+from ..reliability.breaker import CircuitBreaker
 from .job import (DEFAULT_PRIORITY, MAX_PRIORITY, JobRecord,
                   JobValidationError, TMAJob, outcome_payload)
 from .metrics import MetricsRegistry
@@ -50,7 +51,7 @@ _DEFAULT_RETRY_AFTER = 1.0
 #: States whose records may be evicted once ``record_retention`` is
 #: exceeded — nothing further will ever happen to them.
 _TERMINAL_RECORD_STATES = frozenset(("done", "failed", "rejected",
-                                     "requeued"))
+                                     "requeued", "quarantined"))
 
 #: Default bound on retained job records (live records never count
 #: against it — they are already bounded by queue capacity).
@@ -68,7 +69,9 @@ class TMAService:
                  max_requeues: int = 2,
                  record_retention: int = DEFAULT_RECORD_RETENTION,
                  metrics: Optional[MetricsRegistry] = None,
-                 timing_engine: Optional[str] = None) -> None:
+                 timing_engine: Optional[str] = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: float = 30.0) -> None:
         if record_retention < 1:
             raise ValueError("record_retention must be >= 1")
         if timing_engine is not None:
@@ -83,6 +86,12 @@ class TMAService:
         self.store = ResultStore()
         self.pool = WorkerPool(workers=workers, style=executor,
                                factory=executor_factory)
+        #: Per-(workload, config) circuit breaker: a pair that keeps
+        #: failing trips open, and jobs for it resolve ``quarantined``
+        #: without burning a worker slot until the cooldown admits a
+        #: half-open probe.
+        self.breaker = CircuitBreaker(failure_threshold=breaker_threshold,
+                                      cooldown=breaker_cooldown)
         self.max_requeues = max_requeues
         self.record_retention = record_retention
         self._lock = threading.Lock()
@@ -138,6 +147,18 @@ class TMAService:
             self._launch(record)
 
     def _launch(self, record: JobRecord) -> None:
+        breaker_key = self._breaker_key(record)
+        if not self.breaker.allow(breaker_key):
+            # Circuit open: the pair has been failing repeatedly, so
+            # skip it — the job resolves immediately instead of
+            # burning a worker slot on a likely failure.
+            self.metrics.inc("jobs_quarantined")
+            self._resolve(record, state="quarantined",
+                          error=f"circuit open for {breaker_key}; "
+                                f"job skipped")
+            self._slots.release()
+            self._refresh_gauges()
+            return
         record.started_at = time.time()
         with self._lock:
             self._in_flight += 1
@@ -146,6 +167,11 @@ class TMAService:
         spec = record.job.runner_spec()
         if self.timing_engine is not None:
             spec = replace(spec, timing_engine=self.timing_engine)
+        if record.job.deadline_seconds is not None:
+            # Relative budget -> absolute deadline, stamped at launch
+            # so queue wait does not eat into the execution budget.
+            spec = replace(spec, deadline=(record.started_at
+                                           + record.job.deadline_seconds))
         try:
             future = self.pool.submit(spec,
                                       record.job.workload,
@@ -157,6 +183,10 @@ class TMAService:
         future.add_done_callback(
             lambda fut, rec=record: self._on_future_done(rec, fut))
 
+    @staticmethod
+    def _breaker_key(record: JobRecord) -> str:
+        return f"{record.job.workload}:{record.job.config}"
+
     def _on_future_done(self, record: JobRecord, future) -> None:
         error = future.exception()
         if error is not None:
@@ -167,6 +197,7 @@ class TMAService:
     def _finish_execution(self, record: JobRecord,
                           outcome=None, error: Optional[BaseException] = None,
                           future=None) -> None:
+        breaker_key = self._breaker_key(record)
         try:
             if error is not None and self.pool.note_broken(error, future):
                 self.metrics.inc("worker_crashes")
@@ -174,17 +205,23 @@ class TMAService:
                     self.metrics.inc("jobs_requeued")
                     self.scheduler.requeue(record)
                     return
+                self.breaker.record_failure(breaker_key)
                 self._resolve(record, state="failed",
                               error=f"worker crashed "
                                     f"{record.requeues + 1} times: {error}")
                 return
             if error is not None:
+                self.breaker.record_failure(breaker_key)
                 self._resolve(record, state="failed",
                               error=f"{type(error).__name__}: {error}")
                 return
             self._account_trace_cache(outcome)
             payload = outcome_payload(outcome)
             state = "done" if outcome.ok else "failed"
+            if outcome.ok:
+                self.breaker.record_success(breaker_key)
+            else:
+                self.breaker.record_failure(breaker_key)
             self._resolve(record, state=state,
                           result=payload,
                           error=None if outcome.ok else outcome.error)
@@ -376,6 +413,7 @@ class TMAService:
             "in_flight": self.in_flight,
             "workers": self.pool.workers,
             "executor": self.pool.style,
+            "breaker_open": sorted(self.breaker.open_keys()),
         }
 
     # ------------------------------------------------------------------

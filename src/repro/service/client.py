@@ -5,6 +5,21 @@ backpressure contract: a 429 raises :class:`JobRejected` carrying the
 server's ``retry_after`` hint, and :meth:`ServiceClient.submit` can
 optionally honour it for you (``retries > 0``), which is what the CLI
 and the smoke harness use to push a burst through a bounded queue.
+
+Transport resilience: connection-level failures (refused, reset, DNS)
+surface as :class:`ServiceError` with ``status == 0``.  *Idempotent*
+requests — every GET, plus ``POST /admin/drain`` which the service
+makes safe to repeat — are retried through the shared
+:class:`~repro.reliability.retry.RetryPolicy` (capped exponential
+backoff, deterministic jitter) before that error is allowed to
+propagate.  Submissions are **not** retried on connection errors (the
+job may have been accepted before the connection died); they are only
+retried on explicit 429 rejections, where the server has vouched that
+nothing was enqueued.
+
+The chaos layer (:mod:`repro.chaos`) hooks the transport seam: an
+active plan may refuse/reset/delay individual requests, which exercises
+exactly these retry paths.
 """
 
 from __future__ import annotations
@@ -15,9 +30,21 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, Optional
 
+from ..chaos import injector as chaos
+from ..reliability.retry import RetryPolicy
+
+#: Transport retry schedule: three tries, fast capped backoff.  Small
+#: enough that a genuinely-down service fails in well under a second.
+DEFAULT_CLIENT_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, base_delay=0.05, max_delay=0.5, multiplier=2.0)
+
 
 class ServiceError(RuntimeError):
-    """A non-2xx response that is not backpressure (4xx/5xx)."""
+    """A non-2xx response that is not backpressure (4xx/5xx).
+
+    ``status == 0`` means the request never got an HTTP response at
+    all: connection refused/reset, DNS failure, timeout.
+    """
 
     def __init__(self, status: int, payload: Dict[str, Any]) -> None:
         super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
@@ -36,14 +63,34 @@ class JobRejected(ServiceError):
 class ServiceClient:
     """Submit/poll helper bound to one service base URL."""
 
-    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 10.0,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry_policy = retry_policy or DEFAULT_CLIENT_RETRY_POLICY
+        self._request_sequence = 0
 
     # ------------------------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    def _request_once(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]],
+                      attempt: int) -> Dict[str, Any]:
+        # Chaos transport seam.  The per-client request sequence is
+        # part of the decision key, so a retried request draws a fresh
+        # decision (a single flaky connection, not a permanently dead
+        # route) and distinct requests to the same path fault
+        # independently.
+        del attempt  # folded into the sequence below
+        sequence = self._request_sequence
+        self._request_sequence += 1
+        fault = chaos.client_fault(f"{method}:{path}:req-{sequence}")
+        if fault == "delay":
+            active = chaos.plan()
+            if active is not None:
+                time.sleep(active.delay_seconds)
+        elif fault is not None:
+            raise ServiceError(
+                0, {"error": f"chaos-injected connection {fault}"})
         data = json.dumps(body).encode("utf-8") if body is not None else None
         request = urllib.request.Request(
             self.base_url + path, data=data, method=method,
@@ -64,11 +111,39 @@ class ServiceClient:
             # Connection-level failure (refused, DNS, timeout): status 0.
             raise ServiceError(0, {"error": str(exc.reason)}) from None
 
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 idempotent: Optional[bool] = None) -> Dict[str, Any]:
+        if idempotent is None:
+            idempotent = method == "GET"
+        attempts = self.retry_policy.max_attempts if idempotent else 1
+        last_error: Optional[ServiceError] = None
+        for attempt in range(attempts):
+            if attempt:
+                pause = self.retry_policy.delay(
+                    attempt - 1, salt=f"{method}:{path}")
+                if pause > 0:
+                    time.sleep(pause)
+            try:
+                return self._request_once(method, path, body, attempt)
+            except ServiceError as exc:
+                if exc.status != 0 or not idempotent:
+                    raise
+                last_error = exc  # connection-level: retry
+        assert last_error is not None
+        raise last_error
+
     # ------------------------------------------------------------------
 
     def submit(self, workload: str, retries: int = 0,
                **fields: Any) -> Dict[str, Any]:
-        """POST /jobs; optionally retry (honouring Retry-After) on 429."""
+        """POST /jobs; optionally retry (honouring Retry-After) on 429.
+
+        The pause before each retry is the larger of the retry policy's
+        scheduled backoff and the server's (capped) ``retry_after``
+        hint, so the client never hammers a loaded queue faster than
+        the server asked it to.
+        """
         body = {"workload": workload, **fields}
         attempt = 0
         while True:
@@ -77,8 +152,11 @@ class ServiceClient:
             except JobRejected as rejected:
                 if attempt >= retries:
                     raise
+                pause = max(self.retry_policy.delay(
+                                attempt, salt=f"submit:{workload}"),
+                            min(rejected.retry_after, 2.0))
                 attempt += 1
-                time.sleep(min(rejected.retry_after, 2.0))
+                time.sleep(pause)
 
     def status(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}")
@@ -87,9 +165,10 @@ class ServiceClient:
              poll: float = 0.05) -> Dict[str, Any]:
         """Poll until the job reaches a terminal state (or timeout)."""
         deadline = time.time() + timeout
+        terminal = ("done", "failed", "rejected", "requeued", "quarantined")
         while True:
             payload = self.status(job_id)
-            if payload["state"] in ("done", "failed", "rejected", "requeued"):
+            if payload["state"] in terminal:
                 return payload
             if time.time() >= deadline:
                 raise TimeoutError(
@@ -104,4 +183,6 @@ class ServiceClient:
         return self._request("GET", "/healthz")
 
     def drain(self) -> Dict[str, Any]:
-        return self._request("POST", "/admin/drain")
+        # Draining twice is safe (the second is a no-op), so transport
+        # retries are allowed even though this is a POST.
+        return self._request("POST", "/admin/drain", idempotent=True)

@@ -30,8 +30,11 @@ from ..workloads import workload_names
 
 #: Job lifecycle states.  ``queued -> running -> done|failed`` is the
 #: happy path; ``rejected`` marks backpressure refusals (never entered
-#: the queue) and ``requeued`` marks jobs durably persisted by a drain.
-JOB_STATES = ("queued", "running", "done", "failed", "rejected", "requeued")
+#: the queue), ``requeued`` marks jobs durably persisted by a drain,
+#: and ``quarantined`` marks jobs skipped because their
+#: (workload, config) circuit breaker was open.
+JOB_STATES = ("queued", "running", "done", "failed", "rejected", "requeued",
+              "quarantined")
 
 #: Priorities are small ints, 0 = most urgent.
 DEFAULT_PRIORITY = 1
@@ -54,6 +57,10 @@ class TMAJob:
     events: Optional[Tuple[str, ...]] = None
     use_cache: bool = True
     max_cycles: Optional[int] = DEFAULT_MAX_CYCLES
+    #: Relative wall-clock budget in seconds.  The service converts it
+    #: to an absolute deadline when the job launches and propagates it
+    #: into the worker-side runner (see ``RunnerSpec.deadline``).
+    deadline_seconds: Optional[float] = None
 
     def validate(self) -> None:
         if self.workload not in workload_names():
@@ -72,6 +79,9 @@ class TMAJob:
             raise JobValidationError(f"unknown mode {self.mode!r}")
         if self.max_cycles is not None and self.max_cycles < 1:
             raise JobValidationError("max_cycles must be >= 1 or null")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise JobValidationError(
+                "deadline_seconds must be > 0 or null")
 
     def config_obj(self):
         return config_by_name(self.config)
@@ -96,6 +106,7 @@ class TMAJob:
         digest.update(repr(self.events).encode())
         digest.update(repr(self.use_cache).encode())
         digest.update(repr(self.max_cycles).encode())
+        digest.update(repr(self.deadline_seconds).encode())
         return digest.hexdigest()[:24]
 
     def cache_key(self) -> str:
@@ -123,6 +134,7 @@ class TMAJob:
             "events": list(self.events) if self.events else None,
             "use_cache": self.use_cache,
             "max_cycles": self.max_cycles,
+            "deadline_seconds": self.deadline_seconds,
         }
 
     @classmethod
@@ -132,7 +144,7 @@ class TMAJob:
         if "workload" not in payload:
             raise JobValidationError("job payload requires 'workload'")
         known = {"workload", "config", "scale", "increment_mode", "mode",
-                 "events", "use_cache", "max_cycles"}
+                 "events", "use_cache", "max_cycles", "deadline_seconds"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise JobValidationError(f"unknown job fields: {unknown}")
@@ -153,6 +165,9 @@ class TMAJob:
                 use_cache=bool(payload.get("use_cache", True)),
                 max_cycles=(None if payload.get("max_cycles") is None
                             else int(payload["max_cycles"])),
+                deadline_seconds=(
+                    None if payload.get("deadline_seconds") is None
+                    else float(payload["deadline_seconds"])),
             )
         except (TypeError, ValueError) as exc:
             raise JobValidationError(f"malformed job payload: {exc}") from exc
@@ -211,7 +226,7 @@ class JobRecord:
 
     @property
     def done(self) -> bool:
-        return self.state in ("done", "failed", "rejected")
+        return self.state in ("done", "failed", "rejected", "quarantined")
 
     def latency(self) -> Optional[float]:
         if self.finished_at is None:

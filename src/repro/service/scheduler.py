@@ -30,6 +30,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
+from ..chaos import injector as chaos
 from .job import JobRecord
 
 
@@ -109,6 +110,10 @@ class JobScheduler:
 
     def next_job(self, timeout: Optional[float] = None) -> Optional[JobRecord]:
         """Pop the next primary to execute; None on timeout/close."""
+        # Chaos scheduler-stall seam: an injected pause *before* the
+        # lock shakes out dispatch-ordering assumptions without ever
+        # holding the queue lock while sleeping.
+        chaos.maybe_stall()
         with self._lock:
             if not self._queued and not self._closed:
                 self._available.wait(timeout)

@@ -21,10 +21,13 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import BrokenExecutor, Future
 from typing import Optional
 
+from ..chaos import injector as chaos
 from ..cores import config_by_name
+from ..reliability.retry import RetryPolicy
 from ..reliability.runner import RunOutcome
 from ..tools.pool import (EXECUTOR_FACTORIES, ExecutorFactory, RunnerSpec,
                           executor_factory, in_worker)
@@ -32,6 +35,10 @@ from ..tools.pool import (EXECUTOR_FACTORIES, ExecutorFactory, RunnerSpec,
 #: Test hook: a pool worker about to execute this workload dies with
 #: ``os._exit``, simulating a segfaulting/OOM-killed worker process.
 CRASH_ENV = "REPRO_SERVICE_CRASH_WORKLOAD"
+
+#: Submission-path retry schedule: one rebuild-and-resubmit per broken
+#: executor, no backoff (a fresh pool is immediately usable).
+SUBMIT_RETRY_POLICY = RetryPolicy(max_attempts=2, base_delay=0.0)
 
 
 def execute_job(spec: RunnerSpec, workload: str, config_name: str,
@@ -45,9 +52,12 @@ def execute_job(spec: RunnerSpec, workload: str, config_name: str,
     column bytes).  The per-run hit/miss delta rides home on
     ``RunOutcome.trace_cache`` for the service metrics registry.
     """
-    if (allow_crash_hook and in_worker()
-            and os.environ.get(CRASH_ENV) == workload):
-        os._exit(13)
+    if allow_crash_hook and in_worker():
+        if os.environ.get(CRASH_ENV) == workload:
+            os._exit(13)
+        # Chaos worker-kill seam: first execution only (re-queued jobs
+        # run with the hook disabled), so injected kills always recover.
+        chaos.maybe_kill_worker(f"job:{workload}:{config_name}")
     config = config_by_name(config_name)
     runner = spec.build()
     return runner.run_one(workload, config)
@@ -63,7 +73,8 @@ class WorkerPool:
     """
 
     def __init__(self, workers: int = 2, style: str = "process",
-                 factory: Optional[ExecutorFactory] = None) -> None:
+                 factory: Optional[ExecutorFactory] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if factory is None and style not in EXECUTOR_FACTORIES:
@@ -73,6 +84,7 @@ class WorkerPool:
         self.workers = workers
         self.style = style
         self._factory = factory or executor_factory(style)
+        self.retry_policy = retry_policy or SUBMIT_RETRY_POLICY
         self._lock = threading.Lock()
         self._executor = None
         self._shut_down = False
@@ -88,27 +100,37 @@ class WorkerPool:
 
     def submit(self, spec: RunnerSpec, workload: str, config_name: str,
                allow_crash_hook: bool = True) -> Future:
-        executor = self._ensure_executor()
-        try:
-            future = executor.submit(execute_job, spec, workload, config_name,
-                                     allow_crash_hook)
-        except (BrokenExecutor, RuntimeError):
-            with self._lock:
-                if self._shut_down:
-                    # shutdown() raced us: refuse, never resurrect a
-                    # fresh executor the shutdown would not reap.
-                    raise
-            # The pool broke between jobs (a worker died idle, or a
-            # previous crash poisoned it): rebuild once and resubmit.
-            self._rebuild(executor)
+        # Submission retries follow the shared RetryPolicy: the pool
+        # broke between jobs (a worker died idle, or a previous crash
+        # poisoned it) — rebuild and resubmit, bounded by the policy's
+        # attempt cap instead of an ad-hoc single retry.
+        last_exc: Optional[BaseException] = None
+        for attempt in range(self.retry_policy.max_attempts):
             executor = self._ensure_executor()
-            future = executor.submit(execute_job, spec, workload, config_name,
-                                     allow_crash_hook)
-        # Remember which executor produced the future, so a later
-        # crash report rebuilds the executor that actually broke and
-        # never tears down an already-rebuilt healthy one.
-        future.pool_source = executor
-        return future
+            if attempt:
+                pause = self.retry_policy.delay(
+                    attempt - 1, salt=f"submit:{workload}:{config_name}")
+                if pause > 0:
+                    time.sleep(pause)
+            try:
+                future = executor.submit(execute_job, spec, workload,
+                                         config_name, allow_crash_hook)
+            except (BrokenExecutor, RuntimeError) as exc:
+                last_exc = exc
+                with self._lock:
+                    if self._shut_down:
+                        # shutdown() raced us: refuse, never resurrect a
+                        # fresh executor the shutdown would not reap.
+                        raise
+                self._rebuild(executor)
+                continue
+            # Remember which executor produced the future, so a later
+            # crash report rebuilds the executor that actually broke and
+            # never tears down an already-rebuilt healthy one.
+            future.pool_source = executor
+            return future
+        assert last_exc is not None
+        raise last_exc
 
     def _rebuild(self, broken) -> None:
         with self._lock:

@@ -152,6 +152,16 @@ def _deserialize(payload: Dict[str, Any]) -> CoreResult:
     )
 
 
+def serialize_result(result: CoreResult) -> Dict[str, Any]:
+    """Public JSON codec for :class:`CoreResult` (checkpoints reuse it)."""
+    return _serialize(result)
+
+
+def deserialize_result(payload: Dict[str, Any]) -> CoreResult:
+    """Inverse of :func:`serialize_result` (exact round-trip)."""
+    return _deserialize(payload)
+
+
 #: Top-level key holding the payload checksum in on-disk entries.
 _CHECKSUM_KEY = "__sha256__"
 
@@ -242,19 +252,35 @@ def quarantine(key: str) -> bool:
         return False
 
 
-def store(key: str, result: CoreResult) -> None:
-    directory = cache_dir()
-    directory.mkdir(parents=True, exist_ok=True)
-    path = directory / f"{key}.json"
+def store(key: str, result: CoreResult) -> bool:
+    """Write the entry for *key*; returns False when the write failed.
+
+    A cache write is an optimization, never a correctness step: a full
+    disk (ENOSPC), a permissions problem, or any other ``OSError``
+    skips the write and the caller's run result is returned as normal.
+    Payload bytes are routed through the chaos-injection disk seam so
+    campaigns can exercise truncated/bit-flipped/ENOSPC writes; the
+    embedded checksum is what makes those mangled entries *detectable*
+    on the next read.
+    """
+    from ..chaos import injector as chaos
+
     payload = _serialize(result)
     payload[_CHECKSUM_KEY] = _payload_checksum(payload)
+    data = json.dumps(payload).encode("utf-8")
+    directory = cache_dir()
+    path = directory / f"{key}.json"
     # Per-process tmp name: concurrent benchmark processes must not
     # clobber each other's in-flight writes before the atomic replace.
     tmp_path = path.with_suffix(f".{os.getpid()}.tmp")
     try:
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        data = chaos.mangle_write("result-cache", key, data)
+        directory.mkdir(parents=True, exist_ok=True)
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
         os.replace(tmp_path, path)
+    except OSError:
+        return False
     finally:
         if tmp_path.exists():
             try:
@@ -266,6 +292,7 @@ def store(key: str, result: CoreResult) -> None:
     if limit_bytes is not None or limit_entries is not None:
         prune(max_bytes=limit_bytes, max_entries=limit_entries,
               keep=(key,))
+    return True
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,255 @@
+"""Crash-safe sweep checkpoints: a killed sweep resumes, not restarts.
+
+A long (workload × config) sweep that dies at pair 37 of 100 —
+SIGKILL, OOM, power loss — used to recompute everything.  A
+:class:`SweepCheckpoint` records each completed pair as it finishes, in
+a single atomically-replaced, checksummed file (the PR 1 cache
+format: JSON document with an embedded ``__sha256__`` over the
+payload), so the *worst case* loss is the one pair in flight when the
+process died.
+
+Safety properties:
+
+- **Atomic**: every update writes a per-process tmp file and
+  ``os.replace``\\ s it over the live one; a kill mid-write leaves the
+  previous complete checkpoint intact.
+- **Checksummed**: a torn, truncated, or bit-flipped checkpoint fails
+  its digest and is ignored wholesale (resume falls back to a full
+  run) rather than resuming from lies.
+- **Signature-guarded**: the checkpoint embeds a signature of the grid
+  it belongs to (workloads, configs, scale, model fingerprint); a
+  checkpoint from a different grid or an edited simulator is ignored.
+- **Exact**: payloads are
+  :func:`repro.tools.cache.serialize_result`-encoded
+  :class:`~repro.cores.base.CoreResult` values, whose JSON round-trip
+  is bit-exact — a resumed sweep's merged results are identical to an
+  uninterrupted run's.
+
+Checkpoints live under ``<cache dir>/checkpoints/<tag>.ckpt`` — a
+non-``.json`` suffix, like the service's pending-jobs file, so the
+result cache's ``*.json`` LRU prune can never evict sweep progress.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional
+
+from . import cache
+
+_CHECKSUM_KEY = "__sha256__"
+_VERSION = 1
+
+
+def checkpoint_dir() -> Path:
+    """Checkpoint directory (inherits ``REPRO_CACHE_DIR`` isolation)."""
+    return cache.cache_dir() / "checkpoints"
+
+
+def grid_signature(workloads: Iterable[str], config_names: Iterable[str],
+                   scale: float, extra: str = "") -> str:
+    """Identity of one sweep grid; mismatched checkpoints are ignored.
+
+    Folds in the model fingerprint, so editing the simulator
+    invalidates stale progress exactly like it invalidates the cache.
+    """
+    digest = hashlib.sha256()
+    digest.update(cache.model_fingerprint().encode())
+    digest.update(json.dumps(sorted(workloads)).encode())
+    digest.update(json.dumps(sorted(config_names)).encode())
+    digest.update(f"{scale:.6f}".encode())
+    digest.update(extra.encode())
+    return digest.hexdigest()[:24]
+
+
+def _sanitize_tag(tag: str) -> str:
+    return "".join(c if (c.isalnum() or c in "-_.") else "-" for c in tag)
+
+
+class SweepCheckpoint:
+    """One sweep's completed-pair record, persisted after every pair."""
+
+    def __init__(self, tag: str, signature: str) -> None:
+        if not tag:
+            raise ValueError("checkpoint tag must be non-empty")
+        self.tag = _sanitize_tag(tag)
+        self.signature = signature
+        self._entries: Dict[str, Any] = {}
+        self._loaded = False
+
+    @property
+    def path(self) -> Path:
+        return checkpoint_dir() / f"{self.tag}.ckpt"
+
+    # ------------------------------------------------------------------
+
+    def load(self) -> Dict[str, Any]:
+        """Read completed entries; {} on absent/corrupt/mismatched file."""
+        self._loaded = True
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            self._entries = {}
+            return {}
+        if not isinstance(document, dict):
+            self._entries = {}
+            return {}
+        stored_sum = document.pop(_CHECKSUM_KEY, None)
+        actual = hashlib.sha256(
+            json.dumps(document, sort_keys=True).encode("utf-8")).hexdigest()
+        if (stored_sum != actual
+                or document.get("version") != _VERSION
+                or document.get("signature") != self.signature):
+            # Torn write, bit rot, or a checkpoint for a different
+            # grid/model: resuming from it would be wrong, start fresh.
+            self._entries = {}
+            return {}
+        entries = document.get("entries")
+        self._entries = dict(entries) if isinstance(entries, dict) else {}
+        return dict(self._entries)
+
+    def completed_keys(self) -> Iterable[str]:
+        if not self._loaded:
+            self.load()
+        return set(self._entries)
+
+    def get(self, key: str) -> Optional[Any]:
+        if not self._loaded:
+            self.load()
+        return self._entries.get(key)
+
+    # ------------------------------------------------------------------
+
+    def record(self, key: str, payload: Any) -> None:
+        """Add one completed pair and atomically persist the file."""
+        if not self._loaded:
+            self.load()
+        self._entries[key] = payload
+        self._flush()
+
+    def record_many(self, items: Dict[str, Any]) -> None:
+        if not items:
+            return
+        if not self._loaded:
+            self.load()
+        self._entries.update(items)
+        self._flush()
+
+    def _flush(self) -> None:
+        document = {
+            "version": _VERSION,
+            "signature": self.signature,
+            "entries": self._entries,
+        }
+        document[_CHECKSUM_KEY] = hashlib.sha256(
+            json.dumps({k: v for k, v in document.items()
+                        if k != _CHECKSUM_KEY},
+                       sort_keys=True).encode("utf-8")).hexdigest()
+        directory = checkpoint_dir()
+        path = self.path
+        tmp_path = path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+            os.replace(tmp_path, path)
+        except OSError:
+            # Checkpointing is best-effort: a full disk degrades resume
+            # granularity, it must never fail the sweep itself.
+            pass
+        finally:
+            if tmp_path.exists():
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Remove the checkpoint (sweep finished, or fresh start)."""
+        self._entries = {}
+        self._loaded = True
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# RunOutcome codec (parallel-sweep checkpoints)
+
+
+def serialize_outcome(outcome: Any) -> Dict[str, Any]:
+    """JSON-encode a :class:`~repro.reliability.runner.RunOutcome`.
+
+    The measurement's :class:`CoreResult` rides through the result
+    cache's exact codec; the TMA classification is *recomputed* on
+    load (it is a pure function of the measurement), so the checkpoint
+    stays small and schema drift in TmaResult can't strand progress.
+    """
+    measurement = outcome.measurement
+    payload: Dict[str, Any] = {
+        "workload": outcome.workload,
+        "config_name": outcome.config_name,
+        "status": outcome.status,
+        "attempts": outcome.attempts,
+        "quarantined": outcome.quarantined,
+        "error_class": outcome.error_class,
+        "error": outcome.error,
+        "trace_cache": outcome.trace_cache,
+        "measurement": None,
+    }
+    if measurement is not None:
+        payload["measurement"] = {
+            "workload": measurement.workload,
+            "config_name": measurement.config_name,
+            "core": measurement.core,
+            "events": dict(measurement.events),
+            "cycles": measurement.cycles,
+            "instret": measurement.instret,
+            "passes": measurement.passes,
+            "increment_mode": measurement.increment_mode,
+            "result": (cache.serialize_result(measurement.result)
+                       if measurement.result is not None else None),
+        }
+    return payload
+
+
+def deserialize_outcome(payload: Dict[str, Any]) -> Any:
+    """Inverse of :func:`serialize_outcome` (TMA recomputed)."""
+    from ..core.tma import compute_tma
+    from ..pmu.harness import Measurement
+    from ..reliability.runner import RunOutcome
+
+    outcome = RunOutcome(
+        workload=payload["workload"],
+        config_name=payload["config_name"],
+        status=payload["status"],
+        attempts=payload["attempts"],
+        quarantined=payload.get("quarantined", False),
+        error_class=payload.get("error_class"),
+        error=payload.get("error"),
+        trace_cache=payload.get("trace_cache"),
+    )
+    raw = payload.get("measurement")
+    if raw is not None:
+        outcome.measurement = Measurement(
+            workload=raw["workload"],
+            config_name=raw["config_name"],
+            core=raw["core"],
+            events={k: int(v) for k, v in raw["events"].items()},
+            cycles=raw["cycles"],
+            instret=raw["instret"],
+            passes=raw["passes"],
+            increment_mode=raw.get("increment_mode", "adders"),
+            result=(cache.deserialize_result(raw["result"])
+                    if raw.get("result") is not None else None),
+        )
+        if outcome.status == "ok":
+            outcome.tma = compute_tma(outcome.measurement)
+    return outcome

@@ -71,11 +71,40 @@ def _cmd_tma(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
+    import time
+
+    from .checkpoint import SweepCheckpoint, grid_signature
+    from .tma_tool import SuiteDeadlineExceeded
+
     config = config_by_name(args.config)
     names = workload_names(args.category)
-    results = run_suite(names, config, scale=args.scale,
-                        use_cache=not args.no_cache,
-                        engine=args.timing_engine)
+    # Crash-safe progress: every finished workload is checkpointed, so
+    # a killed run (or a lapsed --deadline) resumes with --resume
+    # instead of starting over.  The signature ties the checkpoint to
+    # this exact grid + code fingerprint; any mismatch discards it.
+    checkpoint = SweepCheckpoint(
+        tag=f"suite-{args.category or 'all'}-{args.config}-{args.scale:g}",
+        signature=grid_signature(names, [config.name], args.scale))
+    if not args.resume:
+        checkpoint.clear()
+    deadline = (time.time() + args.deadline
+                if args.deadline is not None else None)
+    try:
+        results = run_suite(names, config, scale=args.scale,
+                            use_cache=not args.no_cache,
+                            engine=args.timing_engine,
+                            checkpoint=checkpoint, deadline=deadline)
+    except SuiteDeadlineExceeded as exc:
+        if exc.results:
+            print(render_breakdown_table(
+                exc.results,
+                title=f"{args.category or 'all'} suite on {config.name} "
+                      f"(partial: deadline lapsed)"))
+        print(f"deadline lapsed: {len(exc.remaining)} workload(s) "
+              f"remaining ({', '.join(exc.remaining)}); "
+              "re-run with --resume to finish", file=sys.stderr)
+        return 3
+    checkpoint.clear()
     print(render_breakdown_table(
         results,
         title=f"{args.category or 'all'} suite on {config.name}"))
@@ -303,22 +332,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print("POST /jobs · GET /jobs/<id> · GET /metrics · GET /healthz · "
           "POST /admin/drain")
 
-    def _shutdown(signum, frame):  # noqa: ARG001 - signal API
-        print(f"\nsignal {signum}: draining...", file=sys.stderr)
-        report = service.drain()
-        print(f"drained: {report}", file=sys.stderr)
-        server.shutdown()
-
-    signal.signal(signal.SIGINT, _shutdown)
-    signal.signal(signal.SIGTERM, _shutdown)
     import threading
 
-    # serve_forever blocks; run it off-thread so the signal handler's
-    # drain/shutdown sequence can stop it cleanly from the main thread.
+    # Signal handlers must stay trivial: drain() takes locks and joins
+    # threads, neither of which is async-signal-safe to run inside a
+    # handler (a SIGTERM landing mid-lock would deadlock the handler
+    # against the interrupted frame).  The handler only sets an event;
+    # the main thread performs the graceful drain + server shutdown.
+    stop = threading.Event()
+
+    def _request_shutdown(signum, frame):  # noqa: ARG001 - signal API
+        print(f"\nsignal {signum}: shutting down...", file=sys.stderr)
+        stop.set()
+
+    signal.signal(signal.SIGINT, _request_shutdown)
+    signal.signal(signal.SIGTERM, _request_shutdown)
+
+    # serve_forever blocks; run it off-thread so the main thread is
+    # free to wait for the stop event and run the shutdown sequence.
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
-    while thread.is_alive():
-        thread.join(timeout=0.5)
+    while not stop.is_set() and thread.is_alive():
+        stop.wait(timeout=0.5)
+    report = service.drain()
+    print(f"drained: {report}", file=sys.stderr)
+    server.shutdown()
+    thread.join(timeout=5.0)
     return 0
 
 
@@ -330,6 +369,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     fields = {"config": args.config, "scale": args.scale,
               "client": args.client, "priority": args.priority,
               "use_cache": not args.no_cache}
+    if args.deadline is not None:
+        fields["deadline_seconds"] = args.deadline
     receipts = []
     try:
         for workload in workloads:
@@ -364,6 +405,31 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             print(f"{record['id']} {record['state']}: "
                   f"{record.get('error')}", file=sys.stderr)
     return 1 if failed else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from ..chaos.campaign import campaign_plan, run_campaign
+
+    plan = campaign_plan(args.seed)
+    overrides = {}
+    for name in ("worker_kill_rate", "disk_fault_rate",
+                 "client_fault_rate", "sched_stall_rate"):
+        value = getattr(args, name)
+        if value is not None:
+            overrides[name] = value
+    if overrides:
+        from dataclasses import replace
+
+        plan = replace(plan, **overrides)
+    report = run_campaign(seed=args.seed, plan=plan,
+                          workers=args.workers,
+                          skip_service=args.skip_service)
+    print(report.render())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote {args.report}")
+    return 0 if report.passed else 1
 
 
 def _cmd_reliability(args: argparse.Namespace) -> int:
@@ -409,6 +475,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the results as JSON")
     p_suite.add_argument("--csv", default=None,
                          help="also write the results as CSV")
+    p_suite.add_argument("--resume", action="store_true",
+                         help="resume from the suite checkpoint left by "
+                              "a killed or deadline-lapsed run")
+    p_suite.add_argument("--deadline", type=float, default=None,
+                         help="wall-clock budget in seconds; progress is "
+                              "checkpointed, exit code 3 when it lapses")
     _add_common(p_suite)
     _add_timing_engine(p_suite)
     p_suite.set_defaults(func=_cmd_suite)
@@ -528,8 +600,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-request / per-wait timeout (seconds)")
     p_submit.add_argument("--no-wait", action="store_true",
                           help="submit and exit without polling results")
+    p_submit.add_argument("--deadline", type=float, default=None,
+                          help="per-job execution budget in seconds, "
+                               "enforced by the service's workers")
     _add_common(p_submit)
     p_submit.set_defaults(func=_cmd_submit)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos campaign: inject faults, verify invariants")
+    p_chaos.add_argument("--seed", type=int, default=1234,
+                         help="chaos seed; the full fault schedule and "
+                              "the report are functions of it")
+    p_chaos.add_argument("--workers", type=int, default=2,
+                         help="sweep-phase pool workers")
+    p_chaos.add_argument("--worker-kill-rate", type=float, default=None,
+                         help="override the plan's worker-kill rate")
+    p_chaos.add_argument("--disk-fault-rate", type=float, default=None,
+                         help="override the plan's disk-fault rate")
+    p_chaos.add_argument("--client-fault-rate", type=float, default=None,
+                         help="override the plan's client-fault rate")
+    p_chaos.add_argument("--sched-stall-rate", type=float, default=None,
+                         help="override the plan's scheduler-stall rate")
+    p_chaos.add_argument("--skip-service", action="store_true",
+                         help="run only the sweep phases")
+    p_chaos.add_argument("--report", default=None,
+                         help="also write the JSON report here")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_rel = sub.add_parser(
         "reliability",

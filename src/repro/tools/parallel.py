@@ -53,9 +53,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..chaos import injector as chaos
 from ..cores.base import BoomConfig, RocketConfig
 from ..reliability.runner import ResilientRunner, RunOutcome, SweepReport
 from ..workloads import build_trace, trace_cache
+from .checkpoint import SweepCheckpoint, deserialize_outcome, serialize_outcome
 from .pool import RunnerSpec, in_worker, process_executor_factory, worker_init
 
 CoreConfig = Union[RocketConfig, BoomConfig]
@@ -96,8 +98,13 @@ def _run_shard(
     report = SweepReport()
     indexed: List[Tuple[int, RunOutcome]] = []
     for index, workload, config in tasks:
-        if in_worker() and crash_workload == workload:
-            os._exit(13)
+        if in_worker():
+            if crash_workload == workload:
+                os._exit(13)
+            # Chaos worker-kill seam: only real pool workers die (the
+            # parent's serial recovery pass skips the hook), so every
+            # injected kill is recoverable and sweeps terminate.
+            chaos.maybe_kill_worker(f"shard:{workload}:{config.name}")
         indexed.append((index, runner.run_one(workload, config, report)))
     return indexed, report.quarantined_keys
 
@@ -112,12 +119,16 @@ class ParallelSweepReport(SweepReport):
     worker_crashes: int = 0
     fallback_reason: Optional[str] = None
     recovered_indices: List[int] = field(default_factory=list)
+    #: Grid indices restored from a sweep checkpoint instead of re-run.
+    resumed_indices: List[int] = field(default_factory=list)
 
     def summary(self) -> str:
         header = (
             f"engine={self.engine} workers={self.workers} "
             f"shards={self.shards} crashes={self.worker_crashes}"
         )
+        if self.resumed_indices:
+            header += f" resumed={len(self.resumed_indices)}"
         if self.fallback_reason:
             header += f" fallback=[{self.fallback_reason}]"
         return header + "\n" + super().summary()
@@ -179,25 +190,38 @@ class ParallelSweepRunner:
         self,
         workloads: Sequence[str],
         configs: Sequence[CoreConfig],
+        checkpoint: Optional[SweepCheckpoint] = None,
     ) -> ParallelSweepReport:
-        """Sweep the grid; parallel when possible, serial otherwise."""
-        grid = self.build_grid(workloads, configs)
-        workers = min(self.max_workers, len(grid)) or 1
-        if workers <= 1:
-            return self._run_serial(grid, engine="serial")
+        """Sweep the grid; parallel when possible, serial otherwise.
 
-        self._prewarm_traces(workloads)
+        With a *checkpoint*, pairs it already holds are restored
+        instead of re-run, and every freshly completed pair is recorded
+        as it lands — so a sweep killed mid-flight resumes from its
+        last completed pair.  The caller owns the checkpoint lifecycle
+        (``clear()`` after a fully successful sweep).
+        """
+        grid = self.build_grid(workloads, configs)
+        resumed = self._resume_entries(grid, checkpoint)
+        remaining = [task for task in grid if task[0] not in resumed]
+        workers = min(self.max_workers, len(remaining)) or 1
+        if workers <= 1:
+            return self._run_serial(grid, engine="serial",
+                                    checkpoint=checkpoint, resumed=resumed)
+
+        self._prewarm_traces([w for _, w, _ in remaining])
         spec = RunnerSpec.from_runner(self.runner)
-        shards = self.shard_grid(grid, workers)
+        shards = self.shard_grid(remaining, workers)
         try:
             # Pre-flight: anything unpicklable (exotic configs, spec
             # extensions) must surface here, not inside the pool.
             pickle.dumps((spec, shards))
         except Exception as exc:  # noqa: BLE001 - any failure degrades
             reason = f"unpicklable sweep: {type(exc).__name__}: {exc}"
-            return self._run_serial(grid, engine="serial-fallback", reason=reason)
+            return self._run_serial(grid, engine="serial-fallback",
+                                    reason=reason, checkpoint=checkpoint,
+                                    resumed=resumed)
 
-        merged: Dict[int, RunOutcome] = {}
+        merged: Dict[int, RunOutcome] = dict(resumed)
         quarantined: Dict[int, List[str]] = {}
         crashed_shards: List[int] = []
         try:
@@ -221,15 +245,19 @@ class ParallelSweepRunner:
                     for index, outcome in indexed:
                         merged[index] = outcome
                     quarantined[shard_index] = keys
+                    self._record(checkpoint, [o for _, o in indexed])
         except Exception as exc:  # noqa: BLE001 - no pool at all
             reason = f"no process pool: {type(exc).__name__}: {exc}"
-            return self._run_serial(grid, engine="serial-fallback", reason=reason)
+            return self._run_serial(grid, engine="serial-fallback",
+                                    reason=reason, checkpoint=checkpoint,
+                                    resumed=resumed)
 
         report = ParallelSweepReport(
             engine="parallel",
             workers=workers,
             shards=len(shards),
             worker_crashes=len(crashed_shards),
+            resumed_indices=sorted(resumed),
         )
         # Recover every pair a dead worker took down with it, serially
         # and in-process (the crash hook only fires inside workers).
@@ -240,11 +268,51 @@ class ParallelSweepRunner:
                 merged[index] = outcome
                 report.recovered_indices.append(index)
             quarantined[shard_index] = keys
+            self._record(checkpoint, [o for _, o in indexed])
 
         report.outcomes = [merged[index] for index, _, _ in grid]
         for shard_index in sorted(quarantined):
             report.quarantined_keys.extend(quarantined[shard_index])
         return report
+
+    # ------------------------------------------------------------------
+
+    def _resume_entries(
+        self,
+        grid: Sequence[SweepTask],
+        checkpoint: Optional[SweepCheckpoint],
+    ) -> Dict[int, RunOutcome]:
+        """Grid indices restorable from the checkpoint (ok pairs only;
+        failed pairs are retried on resume — deterministic failures
+        simply fail again, flaky ones get another chance)."""
+        if checkpoint is None:
+            return {}
+        entries = checkpoint.load()
+        resumed: Dict[int, RunOutcome] = {}
+        for index, workload, config in grid:
+            payload = entries.get(f"{workload}:{config.name}")
+            if payload is None:
+                continue
+            try:
+                outcome = deserialize_outcome(payload)
+            except Exception:  # noqa: BLE001 - damaged entry: re-run pair
+                continue
+            if outcome.ok:
+                resumed[index] = outcome
+        return resumed
+
+    @staticmethod
+    def _record(
+        checkpoint: Optional[SweepCheckpoint],
+        outcomes: Sequence[RunOutcome],
+    ) -> None:
+        """Persist freshly completed pairs (atomic, best-effort)."""
+        if checkpoint is None:
+            return
+        items = {f"{o.workload}:{o.config_name}": serialize_outcome(o)
+                 for o in outcomes if o.ok}
+        if items:
+            checkpoint.record_many(items)
 
     # ------------------------------------------------------------------
 
@@ -272,14 +340,22 @@ class ParallelSweepRunner:
         grid: Sequence[SweepTask],
         engine: str,
         reason: Optional[str] = None,
+        checkpoint: Optional[SweepCheckpoint] = None,
+        resumed: Optional[Dict[int, RunOutcome]] = None,
     ) -> ParallelSweepReport:
         """The exact serial sweep, shaped like a parallel report."""
+        resumed = resumed or {}
         report = ParallelSweepReport(
             engine=engine,
             workers=1,
             shards=1,
             fallback_reason=reason,
+            resumed_indices=sorted(resumed),
         )
-        for _, workload, config in grid:
-            report.outcomes.append(self.runner.run_one(workload, config, report))
+        for index, workload, config in grid:
+            outcome = resumed.get(index)
+            if outcome is None:
+                outcome = self.runner.run_one(workload, config, report)
+                self._record(checkpoint, [outcome])
+            report.outcomes.append(outcome)
         return report

@@ -31,9 +31,17 @@ _IN_WORKER = False
 
 
 def worker_init() -> None:
-    """Pool-worker initializer: marks the process as a worker."""
+    """Pool-worker initializer: marks the process as a worker.
+
+    Also adopts any chaos plan the parent exported through the
+    environment (``REPRO_CHAOS_PLAN``), so system-level fault injection
+    reaches real pool workers with no extra plumbing.
+    """
     global _IN_WORKER
     _IN_WORKER = True
+    from ..chaos import injector as chaos
+
+    chaos.activate_from_env()
 
 
 def in_worker() -> bool:
@@ -65,6 +73,10 @@ class RunnerSpec:
     #: Timing-engine override rebuilt into the worker-side harness
     #: (None defers to ``REPRO_TIMING_ENGINE`` in the worker process).
     timing_engine: Optional[str] = None
+    #: Absolute ``time.time()`` wall-clock deadline carried from the
+    #: CLI / service job into the worker-side runner: attempts that
+    #: cannot start before it fail fast with ``DeadlineExceeded``.
+    deadline: Optional[float] = None
 
     @classmethod
     def from_runner(cls, runner: ResilientRunner) -> "RunnerSpec":
@@ -81,6 +93,7 @@ class RunnerSpec:
             backoff_base=runner.backoff_base,
             use_cache=runner.use_cache,
             timing_engine=runner.timing_engine,
+            deadline=runner.deadline,
         )
 
     def build(self) -> ResilientRunner:
@@ -100,6 +113,7 @@ class RunnerSpec:
             max_cycles=self.max_cycles,
             backoff_base=self.backoff_base,
             use_cache=self.use_cache,
+            deadline=self.deadline,
         )
 
 

@@ -8,6 +8,7 @@ and applies the TMA model.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Union
 
 from ..core.tma import TmaResult, compute_tma
@@ -15,11 +16,29 @@ from ..cores.base import BoomConfig, CoreResult, RocketConfig
 from ..cores.boom import BoomCore
 from ..cores.configs import LARGE_BOOM, ROCKET
 from ..cores.rocket import RocketCore
+from ..isa.errors import DeadlineExceeded
 from ..uarch.cache import CacheConfig
 from ..workloads import build_trace, workload_names
 from . import cache
+from .checkpoint import SweepCheckpoint
 
 CoreConfig = Union[RocketConfig, BoomConfig]
+
+
+class SuiteDeadlineExceeded(DeadlineExceeded):
+    """A suite ran out of wall-clock budget; partial results attached.
+
+    ``results`` holds every workload finished (or restored from the
+    checkpoint) before the deadline lapsed; ``remaining`` names the
+    workloads left undone.  With a checkpoint in play, a later
+    ``--resume`` run completes only ``remaining``.
+    """
+
+    def __init__(self, message: str, results: List[TmaResult],
+                 remaining: List[str]) -> None:
+        super().__init__(message)
+        self.results = results
+        self.remaining = remaining
 
 
 def run_core(workload: str, config: CoreConfig, scale: float = 1.0,
@@ -62,11 +81,46 @@ def run_tma(workload: str, config: CoreConfig = LARGE_BOOM,
 def run_suite(workloads: Sequence[str], config: CoreConfig,
               scale: float = 1.0,
               use_cache: bool = True,
-              engine: Optional[str] = None) -> List[TmaResult]:
-    """TMA for a list of workloads on one configuration."""
-    return [run_tma(name, config, scale=scale, use_cache=use_cache,
-                    engine=engine)
-            for name in workloads]
+              engine: Optional[str] = None,
+              checkpoint: Optional[SweepCheckpoint] = None,
+              deadline: Optional[float] = None) -> List[TmaResult]:
+    """TMA for a list of workloads on one configuration.
+
+    With a *checkpoint*, workloads it already holds are restored (the
+    stored :class:`CoreResult` round-trips bit-exactly; the TMA
+    classification is recomputed) and every freshly computed workload
+    is recorded as it completes — so a killed run resumes from its
+    last finished workload.  The caller owns ``checkpoint.clear()``.
+
+    *deadline* is an absolute ``time.time()`` epoch; when it lapses
+    between workloads, :class:`SuiteDeadlineExceeded` is raised
+    carrying the partial results (everything completed so far stays
+    checkpointed).
+    """
+    results: List[TmaResult] = []
+    for position, name in enumerate(workloads):
+        key = f"{name}:{config.name}"
+        if checkpoint is not None:
+            payload = checkpoint.get(key)
+            if payload is not None:
+                try:
+                    results.append(
+                        compute_tma(cache.deserialize_result(payload)))
+                    continue
+                except Exception:  # noqa: BLE001 - damaged entry: re-run
+                    pass
+        if deadline is not None and time.time() >= deadline:
+            remaining = list(workloads[position:])
+            raise SuiteDeadlineExceeded(
+                f"suite deadline lapsed with {len(remaining)} of "
+                f"{len(workloads)} workloads remaining",
+                results=results, remaining=remaining)
+        result = run_core(name, config, scale=scale, use_cache=use_cache,
+                          engine=engine)
+        if checkpoint is not None:
+            checkpoint.record(key, cache.serialize_result(result))
+        results.append(compute_tma(result))
+    return results
 
 
 def micro_suite() -> List[str]:

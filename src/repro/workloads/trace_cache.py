@@ -43,7 +43,6 @@ from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
 
 from ..isa.columnar import ColumnarTrace, unpack
-from ..isa.errors import ExecutionError
 
 _DISK_ENV = "REPRO_TRACE_CACHE"
 _MEM_LIMIT_ENV = "REPRO_TRACE_CACHE_MEM"
@@ -61,7 +60,33 @@ _FINGERPRINT_MODULES = (
     "repro.workloads.casestudy", "repro.workloads.data",
 )
 
-_STAT_KEYS = ("mem_hits", "disk_hits", "misses")
+_STAT_KEYS = ("mem_hits", "disk_hits", "misses", "disk_corrupt")
+
+#: Disk-entry envelope: magic + sha256(payload)[:16] + packed payload.
+#: ``unpack`` alone cannot detect a flipped bit inside column bytes
+#: (the codec has magic and length checks but no content digest), so
+#: the disk tier wraps entries in its own checksum — any single-byte
+#: damage fails verification and is quarantined as a miss.
+_ENVELOPE_MAGIC = b"TCK1"
+_ENVELOPE_DIGEST_BYTES = 16
+
+
+def _seal(payload: bytes) -> bytes:
+    digest = hashlib.sha256(payload).digest()[:_ENVELOPE_DIGEST_BYTES]
+    return _ENVELOPE_MAGIC + digest + payload
+
+
+def _unseal(data: bytes) -> bytes:
+    """Verified payload bytes; raises ValueError on any damage."""
+    if not data.startswith(_ENVELOPE_MAGIC):
+        raise ValueError("trace-cache entry missing envelope magic")
+    start = len(_ENVELOPE_MAGIC) + _ENVELOPE_DIGEST_BYTES
+    stored = data[len(_ENVELOPE_MAGIC):start]
+    payload = data[start:]
+    actual = hashlib.sha256(payload).digest()[:_ENVELOPE_DIGEST_BYTES]
+    if stored != actual:
+        raise ValueError("trace-cache entry failed its checksum")
+    return payload
 
 _lock = threading.Lock()
 _mem: "OrderedDict[Tuple[str, float], ColumnarTrace]" = OrderedDict()
@@ -181,10 +206,15 @@ def _disk_get(workload: str, scale: float) -> Optional[ColumnarTrace]:
     except OSError:
         return None
     try:
-        trace = unpack(data)
-    except ExecutionError:
-        # Corrupt entry: drop it and treat as a miss; the caller
-        # re-executes and repopulates the slot.
+        trace = unpack(_unseal(data))
+    except Exception:  # noqa: BLE001 - any damage is a miss, never a crash
+        # Corrupt/truncated entry (bad magic, garbled header, codec or
+        # unpickling error — ``unpack`` wraps known damage in
+        # ExecutionError, but *nothing* a rotten byte stream can raise
+        # may propagate to the runner): quarantine the entry — delete
+        # it, count it — and report a miss so the caller re-executes
+        # and repopulates the slot.
+        _bump("disk_corrupt")
         try:
             os.remove(path)
         except OSError:
@@ -200,12 +230,17 @@ def _disk_get(workload: str, scale: float) -> Optional[ColumnarTrace]:
 def _disk_put(workload: str, scale: float, trace: ColumnarTrace) -> None:
     if not disk_enabled():
         return
+    from ..chaos import injector as chaos
+
     directory = trace_dir()
     try:
+        data = chaos.mangle_write("trace-cache",
+                                  trace_key(workload, scale),
+                                  _seal(trace.pack()))
         directory.mkdir(parents=True, exist_ok=True)
         path = entry_path(workload, scale)
         tmp_path = path.with_suffix(f".{os.getpid()}.tmp")
-        tmp_path.write_bytes(trace.pack())
+        tmp_path.write_bytes(data)
         os.replace(tmp_path, path)
     except OSError:
         return  # the disk tier is an optimization, never a failure

@@ -1,0 +1,108 @@
+"""Tests for the per-key circuit breaker (closed/open/half-open)."""
+
+import pytest
+
+from repro.reliability import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(threshold=3, cooldown=30.0):
+    clock = FakeClock()
+    return CircuitBreaker(failure_threshold=threshold, cooldown=cooldown,
+                          clock=clock), clock
+
+
+def test_closed_by_default_and_below_threshold():
+    breaker, _clock = make_breaker(threshold=3)
+    assert breaker.allow("pair") is True
+    breaker.record_failure("pair")
+    breaker.record_failure("pair")
+    assert breaker.state("pair") == "closed"
+    assert breaker.allow("pair") is True
+
+
+def test_threshold_failures_trip_the_circuit():
+    breaker, _clock = make_breaker(threshold=3)
+    for _ in range(3):
+        breaker.record_failure("pair")
+    assert breaker.state("pair") == "open"
+    assert breaker.allow("pair") is False
+    # Other keys are unaffected.
+    assert breaker.allow("healthy") is True
+
+
+def test_success_resets_the_failure_count():
+    breaker, _clock = make_breaker(threshold=3)
+    breaker.record_failure("pair")
+    breaker.record_failure("pair")
+    breaker.record_success("pair")
+    breaker.record_failure("pair")
+    breaker.record_failure("pair")
+    assert breaker.state("pair") == "closed"
+
+
+def test_cooldown_admits_exactly_one_half_open_probe():
+    breaker, clock = make_breaker(threshold=1, cooldown=10.0)
+    breaker.record_failure("pair")
+    assert breaker.allow("pair") is False
+    clock.advance(9.9)
+    assert breaker.allow("pair") is False
+    clock.advance(0.2)
+    assert breaker.state("pair") == "half-open"
+    assert breaker.allow("pair") is True   # the probe
+    assert breaker.allow("pair") is False  # concurrent probe refused
+
+
+def test_probe_success_closes_probe_failure_reopens():
+    breaker, clock = make_breaker(threshold=1, cooldown=10.0)
+    breaker.record_failure("pair")
+    clock.advance(11.0)
+    assert breaker.allow("pair") is True
+    breaker.record_success("pair")
+    assert breaker.state("pair") == "closed"
+    assert breaker.allow("pair") is True
+
+    breaker.record_failure("pair")  # trip again
+    clock.advance(11.0)
+    assert breaker.allow("pair") is True
+    breaker.record_failure("pair")  # probe fails: back to open
+    assert breaker.state("pair") == "open"
+    assert breaker.allow("pair") is False
+    # ... for a fresh full cooldown.
+    clock.advance(9.0)
+    assert breaker.allow("pair") is False
+    clock.advance(2.0)
+    assert breaker.allow("pair") is True
+
+
+def test_snapshot_open_keys_and_reset():
+    breaker, _clock = make_breaker(threshold=1)
+    breaker.record_failure("bad")
+    breaker.record_success("good")
+    assert set(breaker.open_keys()) == {"bad"}
+    snapshot = breaker.snapshot()
+    assert snapshot["bad"]["state"] == "open"
+    assert snapshot["bad"]["trips"] == 1
+    assert snapshot["good"]["state"] == "closed"
+    breaker.reset("bad")
+    assert breaker.state("bad") == "closed"
+    breaker.record_failure("bad")
+    breaker.reset()
+    assert breaker.open_keys() == {}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown=-1.0)

@@ -1,0 +1,128 @@
+"""Tests for the shared RetryPolicy (backoff, jitter, deadlines)."""
+
+import pickle
+
+import pytest
+
+from repro.isa.errors import DeadlineExceeded
+from repro.reliability import DEFAULT_RETRY_POLICY, RetryPolicy
+
+
+# ---------------------------------------------------------------------------
+# backoff schedule
+# ---------------------------------------------------------------------------
+
+def test_schedule_is_capped_exponential():
+    policy = RetryPolicy(max_attempts=5, base_delay=0.1, max_delay=0.5,
+                         multiplier=2.0)
+    assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.5]
+
+
+def test_zero_base_delay_never_sleeps():
+    policy = RetryPolicy(max_attempts=4, base_delay=0.0)
+    assert all(delay == 0.0 for delay in policy.delays())
+
+
+def test_jitter_is_deterministic_per_seed_and_salt():
+    policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5, seed=7)
+    again = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5, seed=7)
+    assert list(policy.delays(salt="k")) == list(again.delays(salt="k"))
+    # Distinct salts (and seeds) de-correlate the schedules.
+    assert list(policy.delays(salt="k")) != list(policy.delays(salt="j"))
+    assert (list(policy.delays(salt="k"))
+            != list(policy.salted(8).delays(salt="k")))
+
+
+def test_jitter_stays_within_band():
+    policy = RetryPolicy(max_attempts=10, base_delay=0.1, max_delay=100.0,
+                         multiplier=1.0, jitter=0.5, seed=3)
+    for delay in policy.delays(salt="band"):
+        assert 0.05 <= delay <= 0.15
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        DEFAULT_RETRY_POLICY.delay(-1)
+
+
+def test_policy_is_frozen_and_picklable():
+    policy = RetryPolicy(max_attempts=4, base_delay=0.25, jitter=0.1, seed=9)
+    with pytest.raises(Exception):
+        policy.max_attempts = 5  # type: ignore[misc]
+    clone = pickle.loads(pickle.dumps(policy))
+    assert clone == policy
+    assert list(clone.delays(salt="x")) == list(policy.delays(salt="x"))
+
+
+# ---------------------------------------------------------------------------
+# deadlines
+# ---------------------------------------------------------------------------
+
+def test_delay_never_extends_past_deadline():
+    policy = RetryPolicy(max_attempts=3, base_delay=10.0, max_delay=10.0)
+    assert policy.delay(0, deadline=105.0, now=100.0) == 5.0
+    assert policy.delay(0, deadline=100.0, now=100.0) == 0.0
+
+
+def test_check_deadline_raises_when_lapsed():
+    policy = RetryPolicy()
+    policy.check_deadline(None)
+    policy.check_deadline(deadline=10.0, now=5.0)
+    with pytest.raises(DeadlineExceeded):
+        policy.check_deadline(deadline=10.0, now=10.0)
+
+
+# ---------------------------------------------------------------------------
+# call()
+# ---------------------------------------------------------------------------
+
+def test_call_retries_then_succeeds_without_real_sleep():
+    attempts = []
+    sleeps = []
+
+    def flaky():
+        attempts.append(len(attempts))
+        if len(attempts) < 3:
+            raise RuntimeError("transient")
+        return "done"
+
+    policy = RetryPolicy(max_attempts=4, base_delay=0.5, max_delay=0.5)
+    result = policy.call(flaky, retry_on=(RuntimeError,),
+                         sleep=sleeps.append)
+    assert result == "done"
+    assert len(attempts) == 3
+    assert sleeps == [0.5, 0.5]
+
+
+def test_call_reraises_after_exhaustion():
+    policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+    calls = []
+
+    def always_fails():
+        calls.append(1)
+        raise KeyError("nope")
+
+    with pytest.raises(KeyError):
+        policy.call(always_fails, retry_on=(KeyError,))
+    assert len(calls) == 2
+
+
+def test_call_honours_deadline_between_attempts():
+    clock_readings = iter([0.0, 0.0, 99.0, 99.0])
+
+    def never_succeeds():
+        raise RuntimeError("transient")
+
+    policy = RetryPolicy(max_attempts=5, base_delay=0.0)
+    with pytest.raises(DeadlineExceeded):
+        policy.call(never_succeeds, retry_on=(RuntimeError,),
+                    deadline=50.0, sleep=lambda _s: None,
+                    clock=lambda: next(clock_readings))

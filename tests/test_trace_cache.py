@@ -24,7 +24,7 @@ def test_miss_then_memory_hit_then_disk_hit():
     first = build_trace("vvadd")
     assert isinstance(first, ColumnarTrace)
     assert trace_cache.stats() == {
-        "mem_hits": 0, "disk_hits": 0, "misses": 1}
+        "mem_hits": 0, "disk_hits": 0, "misses": 1, "disk_corrupt": 0}
 
     assert build_trace("vvadd") is first
     assert trace_cache.stats()["mem_hits"] == 1
@@ -95,7 +95,8 @@ def test_corrupt_disk_entry_is_a_miss_and_removed():
     trace = build_trace("vvadd")  # re-executes instead of crashing
     assert trace.exit_code is not None
     assert trace_cache.stats() == {
-        "mem_hits": 0, "disk_hits": 0, "misses": 1}
+        "mem_hits": 0, "disk_hits": 0, "misses": 1, "disk_corrupt": 1}
+    assert not path.exists() or path.read_bytes() != b"garbage"
 
 
 def test_interpreted_engine_bypasses_memoization(monkeypatch):
