@@ -175,17 +175,30 @@ class BoomCore:
             raise ValueError(
                 "fast_path=True reuses the per-cycle signal record, but "
                 "an observer or fault hook is attached and retains it")
-        # Per-run state: a reused core instance must not leak the
-        # machine-clear count, the store-set training, or the store
-        # queue of the previous run into this one (the caches, TLBs,
-        # and predictor deliberately stay warm across runs).
-        self.machine_clears = 0
-        self._trained_loads.clear()
-        self._stq = []
+        self.reset_run_state()
         if fast_path and engine == "columnar" \
                 and isinstance(trace, ColumnarTrace):
             return self._run_columnar(trace, max_cycles)
         return self._run_objects(trace, max_cycles, fast_path)
+
+    def reset_run_state(self) -> None:
+        """Clear every field :meth:`run` treats as per-run scratch.
+
+        A reused core instance must not leak the machine-clear count,
+        the store-set training, or the store queue of the previous run
+        into this one.  Everything *not* cleared here — caches, TLBs,
+        predictor — deliberately stays warm across runs on one
+        instance, which is exactly why the batched grid engine
+        (:mod:`repro.cores.batch`) instantiates a fresh core per grid
+        point instead of reusing one: warm-structure carry-over is a
+        feature within a config and state leakage across configs.
+        This method is the audited, single home of that split; the
+        batch-path regression test drives two configs whose results
+        would differ only under cross-config leakage.
+        """
+        self.machine_clears = 0
+        self._trained_loads.clear()
+        self._stq = []
 
     def _run_objects(self, trace: DynamicTrace, max_cycles: Optional[int],
                      fast_path: bool) -> CoreResult:

@@ -139,11 +139,24 @@ class RocketCore:
             raise ValueError(
                 "fast_path=True skips per-cycle signal records, but an "
                 "observer or fault hook is attached and needs them")
+        self.reset_run_state()
         if fast_path:
             if engine == "columnar" and isinstance(trace, ColumnarTrace):
                 return self._run_columnar(trace, max_cycles)
             return self._run_fast(trace, max_cycles)
         return self._run_traced(trace, max_cycles)
+
+    def reset_run_state(self) -> None:
+        """Clear per-run scratch state (audited batch-path contract).
+
+        Rocket's loops keep all transient pipeline state in run-local
+        variables, so today this is a no-op — it exists so the per-run
+        vs. warm-structure split is explicit and auditable in both
+        cores (see :meth:`repro.cores.boom.BoomCore.reset_run_state`).
+        The caches, TLBs, and predictor deliberately stay warm across
+        runs on one instance; the batched grid engine therefore builds
+        a fresh core per grid point so no state crosses configs.
+        """
 
     # ------------------------------------------------------------------
     # traced path: per-cycle signal dictionaries, observers, fault hooks

@@ -23,7 +23,8 @@ Or over HTTP: ``repro-tma serve`` + ``repro-tma submit`` /
 
 from .app import TMAService
 from .client import JobRejected, ServiceClient, ServiceError
-from .job import JobRecord, JobValidationError, TMAJob, outcome_payload
+from .job import (GridJob, JobRecord, JobValidationError, TMAJob,
+                  outcome_payload)
 from .metrics import Histogram, MetricsRegistry
 from .scheduler import JobScheduler, SubmitReceipt
 from .server import ServiceServer, make_server, serve_in_thread
@@ -31,6 +32,7 @@ from .store import ResultStore
 from .workers import WorkerPool, execute_job
 
 __all__ = [
+    "GridJob",
     "Histogram",
     "JobRecord",
     "JobRejected",

@@ -33,12 +33,12 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
 from ..cores.base import resolve_timing_engine
 from ..reliability.breaker import CircuitBreaker
-from .job import (DEFAULT_PRIORITY, MAX_PRIORITY, JobRecord,
+from .job import (DEFAULT_PRIORITY, MAX_PRIORITY, GridJob, JobRecord,
                   JobValidationError, TMAJob, outcome_payload)
 from .metrics import MetricsRegistry
 from .scheduler import JobScheduler, SubmitReceipt
@@ -56,6 +56,33 @@ _TERMINAL_RECORD_STATES = frozenset(("done", "failed", "rejected",
 #: Default bound on retained job records (live records never count
 #: against it — they are already bounded by queue capacity).
 DEFAULT_RECORD_RETENTION = 4096
+
+#: Bound on retained grid records (each is a thin index over job
+#: records, which carry the actual results and have their own bound).
+DEFAULT_GRID_RETENTION = 512
+
+
+@dataclass
+class GridRecord:
+    """Service-side index of one fanned-out grid submission.
+
+    A grid record owns no results — it maps canonical grid point keys
+    to the job records that do, so grid status is an aggregation over
+    the normal per-job lifecycle.
+    """
+
+    id: str
+    key: str
+    workload: str
+    scale: float
+    client: str
+    point_keys: List[str]
+    point_record_ids: Dict[str, str]
+    accepted: bool
+    submitted_at: float = field(default_factory=time.time)
+    #: Grid id of the earlier submission with the same canonical grid
+    #: key, when one exists (grid-level dedup accounting).
+    coalesced_with: Optional[str] = None
 
 
 class TMAService:
@@ -96,6 +123,10 @@ class TMAService:
         self.record_retention = record_retention
         self._lock = threading.Lock()
         self._records: Dict[str, JobRecord] = {}
+        self._grids: Dict[str, GridRecord] = {}
+        #: canonical grid key -> id of the first accepted grid record.
+        self._grid_primaries: Dict[str, str] = {}
+        self._grid_sequence = 0
         self._sequence = 0
         self._in_flight = 0
         self._idle = threading.Condition(self._lock)
@@ -320,6 +351,148 @@ class TMAService:
         self._refresh_gauges()
         return receipt
 
+    def submit_grid_payload(self, payload: Dict[str, Any]) -> GridRecord:
+        """Admit a raw grid submission: ``{grid fields..., client, priority}``."""
+        if not isinstance(payload, dict):
+            raise JobValidationError("submission must be a JSON object")
+        body = dict(payload)
+        client = str(body.pop("client", "anonymous")) or "anonymous"
+        try:
+            priority = int(body.pop("priority", DEFAULT_PRIORITY))
+        except (TypeError, ValueError):
+            raise JobValidationError("priority must be an integer") from None
+        if not (0 <= priority <= MAX_PRIORITY):
+            raise JobValidationError(
+                f"priority must be in [0, {MAX_PRIORITY}]")
+        grid_job = GridJob.from_payload(body)
+        return self.submit_grid(grid_job, client=client, priority=priority)
+
+    def submit_grid(self, grid_job: GridJob, client: str = "anonymous",
+                    priority: int = DEFAULT_PRIORITY) -> GridRecord:
+        """Fan one grid request into per-point jobs; returns the index.
+
+        Each point rides the normal job path — result-store hits
+        complete immediately, the rest are admitted *atomically*
+        through :meth:`JobScheduler.submit_many` (all points queued or
+        the whole grid rejected, never a partial matrix) and coalesce
+        point-by-point onto any in-flight duplicates, including points
+        of other clients' overlapping grids.  The ``grid_points_*``
+        counters and the ``grid_share_rate`` gauge expose how much of
+        the design space was served without a fresh execution.
+        """
+        grid_job.validate()
+        pairs = grid_job.expand()
+        grid_key = grid_job.grid_key()
+        self.metrics.inc("grids_submitted")
+        self.metrics.inc("grid_points_total", len(pairs))
+
+        point_record_ids: Dict[str, str] = {}
+        queued: List[JobRecord] = []
+        for point, job in pairs:
+            record = self._new_record(job, client, priority)
+            self.metrics.inc("jobs_submitted")
+            point_record_ids[point.key] = record.id
+            cached = self.store.lookup(job)
+            if cached is not None:
+                now = time.time()
+                record.state = "done"
+                record.started_at = now
+                record.finished_at = now
+                record.result = cached
+                self.metrics.inc("jobs_accepted")
+                self.metrics.inc("cache_hits")
+                self.metrics.inc("jobs_completed")
+                self.metrics.inc("grid_points_cached")
+                latency = record.latency()
+                if latency is not None:
+                    self.metrics.observe("job_latency_seconds", latency)
+                continue
+            queued.append(record)
+
+        accepted = True
+        if queued:
+            receipts = self.scheduler.submit_many(queued)
+            accepted = all(receipt.accepted for receipt in receipts)
+            if accepted:
+                for receipt in receipts:
+                    self.metrics.inc("jobs_accepted")
+                    if receipt.deduped:
+                        self.metrics.inc("dedup_hits")
+                        self.metrics.inc("grid_points_coalesced")
+            else:
+                self.metrics.inc("jobs_rejected", len(queued))
+                self.metrics.inc("grids_rejected")
+
+        with self._lock:
+            self._grid_sequence += 1
+            grid_id = f"grid-{self._grid_sequence:04d}"
+            primary_id = self._grid_primaries.get(grid_key)
+            grid_record = GridRecord(
+                id=grid_id, key=grid_key, workload=grid_job.workload,
+                scale=grid_job.scale, client=client,
+                point_keys=[point.key for point, _ in pairs],
+                point_record_ids=point_record_ids,
+                accepted=accepted, coalesced_with=primary_id)
+            if primary_id is not None:
+                self.metrics.inc("grid_dedup_hits")
+            elif accepted:
+                self._grid_primaries[grid_key] = grid_id
+            self._grids[grid_id] = grid_record
+            while len(self._grids) > DEFAULT_GRID_RETENTION:
+                victim_id, victim = next(iter(self._grids.items()))
+                del self._grids[victim_id]
+                if self._grid_primaries.get(victim.key) == victim_id:
+                    del self._grid_primaries[victim.key]
+        self._refresh_gauges()
+        return grid_record
+
+    def grid_status(self, grid_id: str) -> Optional[Dict[str, Any]]:
+        """Aggregate matrix view of one grid submission (None = 404)."""
+        with self._lock:
+            grid = self._grids.get(grid_id)
+            if grid is None:
+                return None
+            points: Dict[str, Any] = {}
+            states: List[str] = []
+            for key in grid.point_keys:
+                record_id = grid.point_record_ids.get(key)
+                record = self._records.get(record_id or "")
+                if record is None:
+                    points[key] = {"record": record_id, "state": "evicted"}
+                    states.append("evicted")
+                    continue
+                entry: Dict[str, Any] = {"record": record_id,
+                                         "state": record.state}
+                if record.result is not None:
+                    entry["result"] = record.result
+                if record.error:
+                    entry["error"] = record.error
+                points[key] = entry
+                states.append(record.state)
+        if not grid.accepted:
+            state = "rejected"
+        elif any(s in ("failed", "rejected", "quarantined", "evicted")
+                 for s in states):
+            state = ("failed" if all(s in _TERMINAL_RECORD_STATES
+                                     or s == "evicted" for s in states)
+                     else "running")
+        elif all(s == "done" for s in states):
+            state = "done"
+        else:
+            state = "running"
+        return {
+            "id": grid.id,
+            "grid_key": grid.key,
+            "workload": grid.workload,
+            "scale": grid.scale,
+            "client": grid.client,
+            "state": state,
+            "accepted": grid.accepted,
+            "submitted_at": grid.submitted_at,
+            "coalesced_with": grid.coalesced_with,
+            "points": points,
+        }
+
     def _new_record(self, job: TMAJob, client: str,
                     priority: int) -> JobRecord:
         with self._lock:
@@ -393,6 +566,11 @@ class TMAService:
         lookups = hits + self.metrics.counter("trace_cache_misses")
         if lookups:
             self.metrics.set_gauge("trace_cache_hit_rate", hits / lookups)
+        points_total = self.metrics.counter("grid_points_total")
+        if points_total:
+            shared = (self.metrics.counter("grid_points_cached")
+                      + self.metrics.counter("grid_points_coalesced"))
+            self.metrics.set_gauge("grid_share_rate", shared / points_total)
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         self._refresh_gauges()

@@ -158,8 +158,48 @@ class ServiceClient:
                 attempt += 1
                 time.sleep(pause)
 
+    def submit_grid(self, workload: str, retries: int = 0,
+                    **fields: Any) -> Dict[str, Any]:
+        """POST /grids; optionally retry (honouring Retry-After) on 429.
+
+        A grid rejection is all-or-nothing (the server admits the whole
+        design-space matrix atomically or none of it), so retrying a
+        429 is always safe: nothing was enqueued.
+        """
+        body = {"workload": workload, **fields}
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/grids", body)
+            except JobRejected as rejected:
+                if attempt >= retries:
+                    raise
+                pause = max(self.retry_policy.delay(
+                                attempt, salt=f"grid:{workload}"),
+                            min(rejected.retry_after, 2.0))
+                attempt += 1
+                time.sleep(pause)
+
     def status(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}")
+
+    def grid_status(self, grid_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/grids/{grid_id}")
+
+    def wait_grid(self, grid_id: str, timeout: float = 120.0,
+                  poll: float = 0.05) -> Dict[str, Any]:
+        """Poll until every grid point reaches a terminal state."""
+        deadline = time.time() + timeout
+        terminal = ("done", "failed", "rejected")
+        while True:
+            payload = self.grid_status(grid_id)
+            if payload["state"] in terminal:
+                return payload
+            if time.time() >= deadline:
+                raise TimeoutError(
+                    f"grid {grid_id} still {payload['state']!r} "
+                    f"after {timeout:.1f}s")
+            time.sleep(poll)
 
     def wait(self, job_id: str, timeout: float = 60.0,
              poll: float = 0.05) -> Dict[str, Any]:

@@ -21,7 +21,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from ..cores import CONFIGS_BY_NAME, config_by_name
+from ..cores import CONFIGS_BY_NAME
+from ..cores.batch import (DEFAULT_GRID, GridPoint, canonical_grid_key,
+                           parse_grid, resolve_config_spec)
 from ..pmu.csr import INCREMENT_MODES
 from ..reliability.runner import DEFAULT_MAX_CYCLES, RunOutcome
 from ..tools.cache import cache_key
@@ -65,10 +67,16 @@ class TMAJob:
     def validate(self) -> None:
         if self.workload not in workload_names():
             raise JobValidationError(f"unknown workload {self.workload!r}")
-        if self.config not in CONFIGS_BY_NAME:
+        # A config is a Table IV registry name or a canonical grid
+        # point key ("large-boom+l1d=16"), so design-space variants
+        # fanned out of a grid submission ride the normal job path.
+        try:
+            resolve_config_spec(self.config)
+        except (KeyError, ValueError):
             raise JobValidationError(
-                f"unknown config {self.config!r}; "
-                f"choose from {sorted(CONFIGS_BY_NAME)}")
+                f"unknown config {self.config!r}; choose from "
+                f"{sorted(CONFIGS_BY_NAME)} or a canonical grid point "
+                f"key such as 'large-boom+l1d=16'") from None
         if not (0 < self.scale <= 10.0):
             raise JobValidationError(
                 f"scale must be in (0, 10], got {self.scale}")
@@ -84,7 +92,7 @@ class TMAJob:
                 "deadline_seconds must be > 0 or null")
 
     def config_obj(self):
-        return config_by_name(self.config)
+        return resolve_config_spec(self.config)
 
     def job_key(self) -> str:
         """Canonical dedup/store key for this analysis.
@@ -171,6 +179,138 @@ class TMAJob:
             )
         except (TypeError, ValueError) as exc:
             raise JobValidationError(f"malformed job payload: {exc}") from exc
+        job.validate()
+        return job
+
+
+@dataclass(frozen=True)
+class GridJob:
+    """One design-space request: workload × grid of core configs.
+
+    A grid submission fans out into one :class:`TMAJob` per grid point
+    (:meth:`expand`); each point job carries the canonical point key as
+    its ``config`` and rides the normal scheduler path, so overlapping
+    grids from different clients coalesce point-by-point through the
+    existing in-flight dedup, and repeated grids are served by the
+    result store.  :meth:`grid_key` is the order-independent identity
+    of the whole request, used for grid-level dedup accounting.
+    """
+
+    workload: str
+    grid: str = DEFAULT_GRID
+    vary: Tuple[str, ...] = ()
+    scale: float = 1.0
+    increment_mode: str = "adders"
+    mode: str = "baremetal"
+    events: Optional[Tuple[str, ...]] = None
+    use_cache: bool = True
+    max_cycles: Optional[int] = DEFAULT_MAX_CYCLES
+    deadline_seconds: Optional[float] = None
+
+    def points(self) -> Tuple[GridPoint, ...]:
+        return tuple(parse_grid(self.grid, vary=self.vary))
+
+    def validate(self) -> Tuple[GridPoint, ...]:
+        try:
+            points = self.points()
+        except (KeyError, ValueError) as exc:
+            raise JobValidationError(f"bad grid spec: {exc}") from exc
+        # Every per-point field constraint is enforced by the point
+        # jobs themselves; validating the first catches the shared
+        # template fields exactly once.
+        self._point_job(points[0]).validate()
+        return points
+
+    def _point_job(self, point: GridPoint) -> TMAJob:
+        return TMAJob(
+            workload=self.workload,
+            config=point.key,
+            scale=self.scale,
+            increment_mode=self.increment_mode,
+            mode=self.mode,
+            events=self.events,
+            use_cache=self.use_cache,
+            max_cycles=self.max_cycles,
+            deadline_seconds=self.deadline_seconds,
+        )
+
+    def expand(self) -> Tuple[Tuple[GridPoint, TMAJob], ...]:
+        """One (point, job) pair per grid point, in grid order."""
+        return tuple((point, self._point_job(point))
+                     for point in self.points())
+
+    def grid_key(self) -> str:
+        """Canonical identity of the whole grid request.
+
+        Order-independent over the grid points (two clients listing
+        the same points differently coalesce) and folded with every
+        template option that changes what the point jobs return.
+        """
+        base = canonical_grid_key(self.workload, self.points(), self.scale)
+        digest = hashlib.sha256(base.encode())
+        digest.update(self.increment_mode.encode())
+        digest.update(self.mode.encode())
+        digest.update(repr(self.events).encode())
+        digest.update(repr(self.use_cache).encode())
+        digest.update(repr(self.max_cycles).encode())
+        digest.update(repr(self.deadline_seconds).encode())
+        return digest.hexdigest()[:24]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "grid": self.grid,
+            "vary": list(self.vary),
+            "scale": self.scale,
+            "increment_mode": self.increment_mode,
+            "mode": self.mode,
+            "events": list(self.events) if self.events else None,
+            "use_cache": self.use_cache,
+            "max_cycles": self.max_cycles,
+            "deadline_seconds": self.deadline_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "GridJob":
+        if not isinstance(payload, dict):
+            raise JobValidationError("grid payload must be a JSON object")
+        if "workload" not in payload:
+            raise JobValidationError("grid payload requires 'workload'")
+        known = {"workload", "grid", "vary", "scale", "increment_mode",
+                 "mode", "events", "use_cache", "max_cycles",
+                 "deadline_seconds"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise JobValidationError(f"unknown grid fields: {unknown}")
+        vary = payload.get("vary") or ()
+        if not isinstance(vary, (list, tuple)) \
+                or not all(isinstance(v, str) for v in vary):
+            raise JobValidationError("'vary' must be a string list")
+        events = payload.get("events")
+        if events is not None:
+            if (not isinstance(events, (list, tuple))
+                    or not all(isinstance(e, str) for e in events)):
+                raise JobValidationError("'events' must be a string list")
+            events = tuple(events)
+        try:
+            job = cls(
+                workload=str(payload["workload"]),
+                grid=str(payload.get("grid") or DEFAULT_GRID),
+                vary=tuple(vary),
+                scale=float(payload.get("scale", 1.0)),
+                increment_mode=str(payload.get("increment_mode", "adders")),
+                mode=str(payload.get("mode", "baremetal")),
+                events=events,
+                use_cache=bool(payload.get("use_cache", True)),
+                max_cycles=(None if payload.get("max_cycles") is None
+                            else int(payload["max_cycles"])),
+                deadline_seconds=(
+                    None if payload.get("deadline_seconds") is None
+                    else float(payload["deadline_seconds"])),
+            )
+        except (TypeError, ValueError) as exc:
+            raise JobValidationError(
+                f"malformed grid payload: {exc}") from exc
         job.validate()
         return job
 

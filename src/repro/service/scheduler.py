@@ -96,6 +96,71 @@ class JobScheduler:
             return SubmitReceipt(record=record, accepted=True,
                                  queue_depth=self._queued)
 
+    def submit_many(self, records: List[JobRecord]) -> List[SubmitReceipt]:
+        """Admit a whole batch atomically (one lock hold, no partial grids).
+
+        Grid fan-outs need all-or-nothing admission: accepting half a
+        design-space matrix and rejecting the rest leaves the client
+        with an unusable partial grid *and* burns queue slots on it.
+        Every record that can coalesce — onto an existing primary or
+        onto an earlier record *in this batch* — does so for free; if
+        the remaining new primaries do not all fit under ``capacity``,
+        the entire batch is rejected and no state changes.  Holding the
+        lock across the batch also keeps the fair-share accounting
+        atomic: another client's fan-out cannot interleave.
+        """
+        with self._lock:
+            if self._closed:
+                for record in records:
+                    record.state = "rejected"
+                    record.error = "service is draining"
+                return [SubmitReceipt(record=record, accepted=False,
+                                      queue_depth=self._queued)
+                        for record in records]
+            # Phase 1: classify without mutating, so rejection is free.
+            batch_primaries: Dict[str, JobRecord] = {}
+            plans: List[str] = []  # "existing" | "batch" | "new"
+            for record in records:
+                key = record.job_key
+                if key in self._primaries:
+                    plans.append("existing")
+                elif key in batch_primaries:
+                    plans.append("batch")
+                else:
+                    batch_primaries[key] = record
+                    plans.append("new")
+            if self._queued + len(batch_primaries) > self.capacity:
+                for record in records:
+                    record.state = "rejected"
+                    record.error = (
+                        f"queue cannot hold {len(batch_primaries)} more "
+                        f"primaries (depth {self._queued}/{self.capacity})")
+                return [SubmitReceipt(record=record, accepted=False,
+                                      queue_depth=self._queued)
+                        for record in records]
+            # Phase 2: commit.
+            receipts: List[SubmitReceipt] = []
+            for record, plan in zip(records, plans):
+                key = record.job_key
+                record.state = "queued"
+                if plan == "new":
+                    self._primaries[key] = record
+                    self._enqueue(record, front=False)
+                    receipts.append(SubmitReceipt(
+                        record=record, accepted=True,
+                        queue_depth=self._queued))
+                else:
+                    primary = (self._primaries[key] if plan == "existing"
+                               else batch_primaries[key])
+                    record.coalesced_with = primary.id
+                    self._followers.setdefault(key, []).append(record)
+                    receipts.append(SubmitReceipt(
+                        record=record, accepted=True, deduped=True,
+                        queue_depth=self._queued))
+            if batch_primaries:
+                self._available.notify_all()
+            return receipts
+
     def _enqueue(self, record: JobRecord, front: bool) -> None:
         per_client = self._queues.setdefault(record.priority, OrderedDict())
         queue = per_client.setdefault(record.client, deque())

@@ -6,6 +6,11 @@ Endpoints::
                         (429 + Retry-After on backpressure,
                          400 on validation errors)
     GET  /jobs/<id>     job status + result     -> 200 | 404
+    POST /grids         submit a design-space   -> 202 grid receipt
+                        grid (fans out into      (429 when the whole
+                        per-point jobs)          grid cannot be
+                                                 admitted atomically)
+    GET  /grids/<id>    aggregated grid status  -> 200 | 404
     GET  /metrics       metrics snapshot        -> 200
     GET  /healthz       liveness + drain state  -> 200
     POST /admin/drain   graceful drain          -> 200 drain report
@@ -80,6 +85,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/jobs":
             self._post_jobs()
+        elif self.path == "/grids":
+            self._post_grids()
         elif self.path == "/admin/drain":
             report = self.service.drain()
             self._send_json(200, report)
@@ -113,12 +120,43 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             "queue_depth": receipt.queue_depth,
         })
 
+    def _post_grids(self) -> None:
+        try:
+            payload = self._read_json_body()
+            grid = self.service.submit_grid_payload(payload)
+        except JobValidationError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        summary = {
+            "id": grid.id,
+            "grid_key": grid.key,
+            "workload": grid.workload,
+            "points": len(grid.point_keys),
+            "point_records": dict(grid.point_record_ids),
+            "coalesced_with": grid.coalesced_with,
+        }
+        if not grid.accepted:
+            retry_after = self.service._retry_after_estimate()
+            summary["error"] = "grid could not be admitted atomically"
+            summary["retry_after"] = retry_after
+            self._send_json(429, summary,
+                            headers={"Retry-After": f"{retry_after:.3f}"})
+            return
+        self._send_json(202, summary)
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path.startswith("/jobs/"):
             job_id = self.path[len("/jobs/"):]
             payload = self.service.status(job_id)
             if payload is None:
                 self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            else:
+                self._send_json(200, payload)
+        elif self.path.startswith("/grids/"):
+            grid_id = self.path[len("/grids/"):]
+            payload = self.service.grid_status(grid_id)
+            if payload is None:
+                self._send_json(404, {"error": f"unknown grid {grid_id!r}"})
             else:
                 self._send_json(200, payload)
         elif self.path == "/metrics":

@@ -26,7 +26,7 @@ from concurrent.futures import BrokenExecutor, Future
 from typing import Optional
 
 from ..chaos import injector as chaos
-from ..cores import config_by_name
+from ..cores import resolve_config_spec
 from ..reliability.retry import RetryPolicy
 from ..reliability.runner import RunOutcome
 from ..tools.pool import (EXECUTOR_FACTORIES, ExecutorFactory, RunnerSpec,
@@ -58,7 +58,9 @@ def execute_job(spec: RunnerSpec, workload: str, config_name: str,
         # Chaos worker-kill seam: first execution only (re-queued jobs
         # run with the hook disabled), so injected kills always recover.
         chaos.maybe_kill_worker(f"job:{workload}:{config_name}")
-    config = config_by_name(config_name)
+    # Accept grid point keys ("rocket+l1d=8KiB") as well as registry
+    # names, so fanned-out grid jobs run through the same path.
+    config = resolve_config_spec(config_name)
     runner = spec.build()
     return runner.run_one(workload, config)
 

@@ -16,6 +16,9 @@ the ``DynInst``-walking oracle, on Rocket and BOOM large), and the
   core model, in wall clock and simulated cycles/instructions per
   second (with a bit-identical ``CoreResult`` check),
 - the warm trace-cache hit rate,
+- the batched multi-config engine's wall clock against per-config
+  single runs (grid-of-4, inline and pooled, with a bit-identical
+  oracle check per grid point),
 - the parallel sweep's speedup over serial and its per-worker
   efficiency,
 - whether parallel and serial sweeps merged to identical results.
@@ -60,7 +63,7 @@ from ..workloads import (
 from .parallel import ParallelSweepRunner
 
 #: Snapshot written by this PR's harness; bump per PR with a baseline.
-DEFAULT_OUTPUT = "BENCH_PR5.json"
+DEFAULT_OUTPUT = "BENCH_PR7.json"
 
 #: Ratio metrics the gate enforces ("section.key" paths).  Anything
 #: not listed here is informational only.  ``parallel.speedup`` is
@@ -72,6 +75,7 @@ GATED_METRICS = (
     "functional.speedup",
     "timing.rocket.speedup",
     "timing.boom_large.speedup",
+    "timing.batch.speedup",
     "parallel.efficiency",
 )
 
@@ -235,7 +239,7 @@ def _bench_timing_core(
     }
 
 
-def _bench_timing(scale: float) -> Dict:
+def _bench_timing(scale: float, workers: int) -> Dict:
     """Timing engines: descriptor-compiled columnar loops vs. oracle.
 
     Both engines replay identical committed-path traces through the
@@ -259,11 +263,132 @@ def _bench_timing(scale: float) -> Dict:
     # the parallel section (copy-on-write faults on refcount writes).
     del traces
     trace_cache.clear_memory()
+    batch = _bench_batch(scale, workers)
     return {
         "rocket": rocket,
         "boom_large": boom,
-        "identical": bool(rocket["identical"] and boom["identical"]),
+        "batch": batch,
+        "identical": bool(
+            rocket["identical"] and boom["identical"] and batch["identical"]
+        ),
     }
+
+
+#: Workload basket for the batched-grid section: one FP kernel and one
+#: branchy recursive workload, so sharing is measured across both
+#: pipeline personalities without making the section dominate the run.
+BATCH_WORKLOADS = ("mm", "towers")
+
+
+def _bench_batch(scale: float, workers: int) -> Dict[str, float]:
+    """Batched multi-config engine vs. per-config single runs.
+
+    Measures the default grid-of-4 three ways over the same workload
+    basket, against an isolated cache with the disk trace tier
+    pre-seeded (the steady state a sweep worker sees):
+
+    - ``singles``: one :func:`~repro.tools.tma_tool.run_core` per grid
+      point, the memory trace tier cleared before each config so every
+      point pays its own trace fetch and descriptor compile — exactly
+      what N independent per-config engines pay.
+    - ``batch`` (inline): one :func:`~repro.cores.batch.run_batch` pass
+      per workload with ``workers=1``.  The gated ``speedup`` ratio
+      (``singles_wall / batch_wall``) isolates the sharing machinery —
+      trace fetched once, descriptor tables compiled once, TAGE fold
+      memos shared — with no parallelism in the numerator, so it is
+      machine-independent and must never fall materially below 1.0
+      (batching must not cost more than the runs it replaces).
+    - ``pool``: the same pass with ``workers`` processes, which is how
+      ``repro-tma sweep --grid`` actually runs.  ``vs_single``
+      (``pool_wall / max_single_wall``) is the acceptance target
+      (< 2.0) and is honest about hardware: on a 1-CPU runner the pool
+      cannot beat it, so ``target_met`` is recorded alongside
+      ``effective_cores`` rather than gated across heterogeneous
+      runners.
+
+    ``identical`` is the full field-by-field ``CoreResult`` comparison
+    of every batch point against its single-run oracle.
+    """
+    from ..cores.batch import DEFAULT_GRID, parse_grid, run_batch
+    from .tma_tool import run_core
+
+    points = parse_grid(DEFAULT_GRID)
+    names = BATCH_WORKLOADS
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    tmp = tempfile.mkdtemp(prefix="repro-bench-batch-")
+    os.environ["REPRO_CACHE_DIR"] = tmp
+    try:
+        clear_caches()
+        for name in names:  # seed the disk trace tier
+            build_trace(name, scale=scale)
+
+        single_wall: Dict[str, float] = {}
+        singles = {}
+        for point in points:
+            trace_cache.clear_memory()
+            start = time.perf_counter()
+            for name in names:
+                singles[(name, point.key)] = run_core(
+                    name, point.config, scale=scale, use_cache=False
+                )
+            single_wall[point.key] = time.perf_counter() - start
+
+        trace_cache.clear_memory()
+        start = time.perf_counter()
+        batches = {
+            name: run_batch(name, points, scale=scale, use_cache=False, workers=1)
+            for name in names
+        }
+        batch_s = time.perf_counter() - start
+
+        trace_cache.clear_memory()
+        start = time.perf_counter()
+        pooled = {
+            name: run_batch(
+                name, points, scale=scale, use_cache=False, workers=workers
+            )
+            for name in names
+        }
+        pool_s = time.perf_counter() - start
+
+        identical = all(
+            _core_result_digest(batches[name].result_for(point.key))
+            == _core_result_digest(singles[(name, point.key)])
+            and _core_result_digest(pooled[name].result_for(point.key))
+            == _core_result_digest(singles[(name, point.key)])
+            for name in names
+            for point in points
+        )
+        singles_s = sum(single_wall.values())
+        max_single_s = max(single_wall.values())
+        vs_single = pool_s / max_single_s if max_single_s else 0.0
+        effective_cores = max(1, min(workers, os.cpu_count() or 1))
+        return {
+            "workloads": len(names),
+            "points": len(points),
+            "workers": workers,
+            "effective_cores": effective_cores,
+            "singles_wall_s": round(singles_s, 4),
+            "max_single_wall_s": round(max_single_s, 4),
+            "batch_wall_s": round(batch_s, 4),
+            "pool_wall_s": round(pool_s, 4),
+            "trace_fetches": sum(b.stats.trace_fetches for b in batches.values()),
+            "tables_shared": sum(b.stats.tables_shared for b in batches.values()),
+            "fold_caches_shared": sum(
+                b.stats.fold_caches_shared for b in batches.values()
+            ),
+            "speedup": round(singles_s / batch_s, 3) if batch_s else 0.0,
+            "vs_single": round(vs_single, 3),
+            "target_met": bool(vs_single < 2.0),
+            "identical": identical,
+        }
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved
+        clear_caches()
+        shutil.rmtree(tmp, ignore_errors=True)
 
 
 def _dyninst_digest(inst) -> Tuple:
@@ -484,7 +609,7 @@ def run_benchmarks(
         "functional": _bench_functional(workloads, scale),
         "trace_cache": _bench_trace_cache(workloads, scale),
         "fastpath": _bench_fastpath(workloads, scale, inject_slowdown),
-        "timing": _bench_timing(scale),
+        "timing": _bench_timing(scale, workers),
         "parallel": _bench_parallel(workloads, scale, workers),
     }
 
@@ -620,6 +745,19 @@ def render_payload(payload: Dict) -> str:
                 f"({section['columnar_kcycles_per_s']:.0f} kcyc/s)  "
                 f"speedup {section['speedup']:.2f}x  "
                 f"identical={section['identical']}"
+            )
+        batch = timing.get("batch")
+        if batch:
+            lines.append(
+                f"  timing[batch]: grid-of-{batch['points']} x "
+                f"{batch['workloads']} workloads  "
+                f"singles {batch['singles_wall_s']:.2f}s  "
+                f"batch {batch['batch_wall_s']:.2f}s "
+                f"(speedup {batch['speedup']:.2f}x)  "
+                f"pool[{batch['workers']}] {batch['pool_wall_s']:.2f}s "
+                f"(vs_single {batch['vs_single']:.2f}x, "
+                f"target_met={batch['target_met']})  "
+                f"identical={batch['identical']}"
             )
     lines += [
         f"  parallel: {par['runs']} sweep pairs  "

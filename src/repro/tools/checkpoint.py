@@ -49,8 +49,9 @@ def checkpoint_dir() -> Path:
     return cache.cache_dir() / "checkpoints"
 
 
-def grid_signature(workloads: Iterable[str], config_names: Iterable[str],
-                   scale: float, extra: str = "") -> str:
+def grid_signature(
+    workloads: Iterable[str], config_names: Iterable[str], scale: float, extra: str = ""
+) -> str:
     """Identity of one sweep grid; mismatched checkpoints are ignored.
 
     Folds in the model fingerprint, so editing the simulator
@@ -63,6 +64,19 @@ def grid_signature(workloads: Iterable[str], config_names: Iterable[str],
     digest.update(f"{scale:.6f}".encode())
     digest.update(extra.encode())
     return digest.hexdigest()[:24]
+
+
+def point_key(workload: str, config_name: str) -> str:
+    """Canonical checkpoint key for one (workload, config) pair.
+
+    Every sweep flavour (suite, parallel grid, batched grid) keys its
+    checkpoint entries through this one helper, so the key format can
+    never drift between them.  (Payload codecs still differ per
+    flavour — :func:`serialize_outcome` for parallel sweeps,
+    :func:`repro.tools.cache.serialize_result` for suite/batch — which
+    is why each flavour also embeds its own grid signature.)
+    """
+    return f"{workload}:{config_name}"
 
 
 def _sanitize_tag(tag: str) -> str:
@@ -100,10 +114,13 @@ class SweepCheckpoint:
             return {}
         stored_sum = document.pop(_CHECKSUM_KEY, None)
         actual = hashlib.sha256(
-            json.dumps(document, sort_keys=True).encode("utf-8")).hexdigest()
-        if (stored_sum != actual
-                or document.get("version") != _VERSION
-                or document.get("signature") != self.signature):
+            json.dumps(document, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        if (
+            stored_sum != actual
+            or document.get("version") != _VERSION
+            or document.get("signature") != self.signature
+        ):
             # Torn write, bit rot, or a checkpoint for a different
             # grid/model: resuming from it would be wrong, start fresh.
             self._entries = {}
@@ -146,9 +163,11 @@ class SweepCheckpoint:
             "entries": self._entries,
         }
         document[_CHECKSUM_KEY] = hashlib.sha256(
-            json.dumps({k: v for k, v in document.items()
-                        if k != _CHECKSUM_KEY},
-                       sort_keys=True).encode("utf-8")).hexdigest()
+            json.dumps(
+                {k: v for k, v in document.items() if k != _CHECKSUM_KEY},
+                sort_keys=True,
+            ).encode("utf-8")
+        ).hexdigest()
         directory = checkpoint_dir()
         path = self.path
         tmp_path = path.with_suffix(f".{os.getpid()}.tmp")
@@ -214,8 +233,11 @@ def serialize_outcome(outcome: Any) -> Dict[str, Any]:
             "instret": measurement.instret,
             "passes": measurement.passes,
             "increment_mode": measurement.increment_mode,
-            "result": (cache.serialize_result(measurement.result)
-                       if measurement.result is not None else None),
+            "result": (
+                cache.serialize_result(measurement.result)
+                if measurement.result is not None
+                else None
+            ),
         }
     return payload
 
@@ -247,8 +269,11 @@ def deserialize_outcome(payload: Dict[str, Any]) -> Any:
             instret=raw["instret"],
             passes=raw["passes"],
             increment_mode=raw.get("increment_mode", "adders"),
-            result=(cache.deserialize_result(raw["result"])
-                    if raw.get("result") is not None else None),
+            result=(
+                cache.deserialize_result(raw["result"])
+                if raw.get("result") is not None
+                else None
+            ),
         )
         if outcome.status == "ok":
             outcome.tma = compute_tma(outcome.measurement)

@@ -119,6 +119,120 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_grid_matrix(batch) -> str:
+    """One workload's design-space matrix: a row per grid point."""
+    from ..core.report import format_percent
+    from ..core.tma import TOP_LEVEL
+
+    header = [f"{'grid point':<28s}"]
+    header += [f"{cls.split('_')[0]:>11s}" for cls in TOP_LEVEL]
+    header.append(f"{'IPC':>8s}{'cycles':>12s}")
+    lines = [f"{batch.workload} (scale {batch.scale:g})", "".join(header)]
+    for point, result, tma in zip(batch.points, batch.results, batch.tma):
+        row = [f"{point.key:<28.28s}"]
+        row += [f"{format_percent(tma.fraction(cls)):>11s}"
+                for cls in TOP_LEVEL]
+        row.append(f"{tma.ipc:8.3f}{result.cycles:>12d}")
+        lines.append("".join(row))
+    stats = batch.stats
+    shared = (f"mode={stats.mode} workers={stats.workers} "
+              f"executed={stats.executed} cache_hits={stats.cache_hits} "
+              f"restored={stats.restored} trace_fetches={stats.trace_fetches} "
+              f"tables_shared={stats.tables_shared} "
+              f"folds_shared={stats.fold_caches_shared} "
+              f"wall={stats.wall_s:.3f}s")
+    if stats.fallback_reason:
+        shared += f" fallback=[{stats.fallback_reason}]"
+    lines.append(shared)
+    return "\n".join(lines)
+
+
+def _grid_json_payload(points, batches, scale: float) -> dict:
+    from dataclasses import asdict
+
+    from ..core.tma import TOP_LEVEL
+
+    workloads = {}
+    for batch in batches:
+        workloads[batch.workload] = {
+            "stats": asdict(batch.stats),
+            "points": {
+                point.key: {
+                    "config": point.config.name,
+                    "cycles": result.cycles,
+                    "instret": result.instret,
+                    "ipc": tma.ipc,
+                    "tma": {cls: tma.fraction(cls) for cls in TOP_LEVEL},
+                }
+                for point, result, tma in zip(batch.points, batch.results,
+                                              batch.tma)
+            },
+        }
+    return {"scale": scale, "grid": [p.key for p in points],
+            "workloads": workloads}
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from ..cores.batch import DEFAULT_GRID, canonical_grid_key, parse_grid
+    from .checkpoint import SweepCheckpoint, grid_signature
+    from .tma_tool import SuiteDeadlineExceeded, run_grid
+
+    try:
+        points = parse_grid(args.grid or DEFAULT_GRID, vary=args.vary or ())
+    except (KeyError, ValueError) as exc:
+        print(f"bad grid spec: {exc}", file=sys.stderr)
+        return 2
+    if args.workloads:
+        names = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        known = set(workload_names())
+        unknown = [name for name in names if name not in known]
+        if unknown:
+            print(f"unknown workload(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+    else:
+        names = workload_names(args.category)
+    # One checkpoint spans the whole (workloads x points) sweep; the
+    # signature folds the canonical grid key, so a checkpoint from a
+    # different grid (or an edited simulator) is discarded, and the
+    # deterministic tag lets --resume find it again.
+    signature = grid_signature(
+        names, [point.key for point in points], args.scale,
+        extra=canonical_grid_key("+".join(sorted(names)), points, args.scale))
+    checkpoint = SweepCheckpoint(tag=f"sweep-{signature[:12]}",
+                                 signature=signature)
+    if not args.resume:
+        checkpoint.clear()
+    deadline = (time.time() + args.deadline
+                if args.deadline is not None else None)
+    try:
+        batches = run_grid(names, points, scale=args.scale,
+                           use_cache=not args.no_cache,
+                           engine=args.timing_engine,
+                           workers=args.workers,
+                           checkpoint=checkpoint, deadline=deadline)
+    except SuiteDeadlineExceeded as exc:
+        for batch in exc.results:
+            print(_render_grid_matrix(batch))
+            print()
+        print(f"deadline lapsed: {len(exc.remaining)} workload(s) "
+              f"remaining ({', '.join(exc.remaining)}); "
+              "re-run with --resume to finish", file=sys.stderr)
+        return 3
+    checkpoint.clear()
+    for batch in batches:
+        print(_render_grid_matrix(batch))
+        print()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(_grid_json_payload(points, batches, args.scale),
+                      handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_mix(args: argparse.Namespace) -> int:
     trace = build_trace(args.workload, scale=args.scale)
     histogram = trace.class_histogram()
@@ -484,6 +598,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_suite)
     _add_timing_engine(p_suite)
     p_suite.set_defaults(func=_cmd_suite)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="batched design-space sweep: one trace pass, N configs")
+    p_sweep.add_argument(
+        "--grid", default=None,
+        help="comma-separated config names or canonical grid point keys "
+             "(default: the paper's rocket,small-boom,medium-boom,"
+             "large-boom grid)")
+    p_sweep.add_argument(
+        "--vary", action="append", default=None, metavar="AXIS=V1,V2",
+        help="variant axis crossed over the grid (repeatable); axes: "
+             "l1d=<KiB>, bp=<tage|gshare|bimodal>, fetch=<width>")
+    p_sweep.add_argument("--workloads", default=None,
+                         help="comma-separated workload names "
+                              "(default: --category)")
+    p_sweep.add_argument("--category", default="micro",
+                         choices=["micro", "spec", "case-study"])
+    p_sweep.add_argument("--scale", type=float, default=1.0,
+                         help="workload scale factor")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="bypass the on-disk result cache")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="process fan-out across grid points "
+                              "(default: core count; 1 = inline "
+                              "shared-trace path)")
+    p_sweep.add_argument("--json", default=None,
+                         help="also write the result matrix as JSON")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="resume from the sweep checkpoint left by "
+                              "a killed or deadline-lapsed run")
+    p_sweep.add_argument("--deadline", type=float, default=None,
+                         help="wall-clock budget in seconds; progress is "
+                              "checkpointed, exit code 3 when it lapses")
+    _add_timing_engine(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_mix = sub.add_parser("mix", help="dynamic instruction mix")
     p_mix.add_argument("--workload", required=True)

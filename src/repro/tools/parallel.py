@@ -57,7 +57,12 @@ from ..chaos import injector as chaos
 from ..cores.base import BoomConfig, RocketConfig
 from ..reliability.runner import ResilientRunner, RunOutcome, SweepReport
 from ..workloads import build_trace, trace_cache
-from .checkpoint import SweepCheckpoint, deserialize_outcome, serialize_outcome
+from .checkpoint import (
+    SweepCheckpoint,
+    deserialize_outcome,
+    point_key,
+    serialize_outcome,
+)
 from .pool import RunnerSpec, in_worker, process_executor_factory, worker_init
 
 CoreConfig = Union[RocketConfig, BoomConfig]
@@ -290,7 +295,7 @@ class ParallelSweepRunner:
         entries = checkpoint.load()
         resumed: Dict[int, RunOutcome] = {}
         for index, workload, config in grid:
-            payload = entries.get(f"{workload}:{config.name}")
+            payload = entries.get(point_key(workload, config.name))
             if payload is None:
                 continue
             try:
@@ -309,8 +314,11 @@ class ParallelSweepRunner:
         """Persist freshly completed pairs (atomic, best-effort)."""
         if checkpoint is None:
             return
-        items = {f"{o.workload}:{o.config_name}": serialize_outcome(o)
-                 for o in outcomes if o.ok}
+        items = {
+            point_key(o.workload, o.config_name): serialize_outcome(o)
+            for o in outcomes
+            if o.ok
+        }
         if items:
             checkpoint.record_many(items)
 

@@ -20,8 +20,7 @@ setup requires, so neither side copy-pastes pool wiring:
 
 from __future__ import annotations
 
-from concurrent.futures import (Future, ProcessPoolExecutor,
-                                ThreadPoolExecutor)
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, ContextManager, Dict, Optional, Tuple
 
@@ -172,4 +171,5 @@ def executor_factory(style: str) -> ExecutorFactory:
     except KeyError:
         raise ValueError(
             f"unknown executor style {style!r}; "
-            f"choose from {sorted(EXECUTOR_FACTORIES)}") from None
+            f"choose from {sorted(EXECUTOR_FACTORIES)}"
+        ) from None

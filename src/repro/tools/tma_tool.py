@@ -20,7 +20,7 @@ from ..isa.errors import DeadlineExceeded
 from ..uarch.cache import CacheConfig
 from ..workloads import build_trace, workload_names
 from . import cache
-from .checkpoint import SweepCheckpoint
+from .checkpoint import SweepCheckpoint, point_key
 
 CoreConfig = Union[RocketConfig, BoomConfig]
 
@@ -99,7 +99,7 @@ def run_suite(workloads: Sequence[str], config: CoreConfig,
     """
     results: List[TmaResult] = []
     for position, name in enumerate(workloads):
-        key = f"{name}:{config.name}"
+        key = point_key(name, config.name)
         if checkpoint is not None:
             payload = checkpoint.get(key)
             if payload is not None:
@@ -120,6 +120,41 @@ def run_suite(workloads: Sequence[str], config: CoreConfig,
         if checkpoint is not None:
             checkpoint.record(key, cache.serialize_result(result))
         results.append(compute_tma(result))
+    return results
+
+
+def run_grid(workloads: Sequence[str], points: Sequence["GridPoint"],
+             scale: float = 1.0,
+             use_cache: bool = True,
+             engine: Optional[str] = None,
+             workers: Optional[int] = None,
+             checkpoint: Optional[SweepCheckpoint] = None,
+             deadline: Optional[float] = None) -> List["BatchResult"]:
+    """Batched design-space sweep: workloads x grid points.
+
+    Each workload runs through :func:`repro.cores.batch.run_batch`,
+    which pays the trace fetch, descriptor-table compiles, and TAGE
+    fold derivations once per workload instead of once per (workload,
+    config) pair — with every per-point result bit-identical to
+    :func:`run_core`.  Checkpoint/resume and deadline semantics mirror
+    :func:`run_suite`: the deadline is checked between workloads, and
+    :class:`SuiteDeadlineExceeded` carries the finished
+    :class:`~repro.cores.batch.BatchResult` list (points completed
+    inside an interrupted workload stay checkpointed).
+    """
+    from ..cores.batch import run_batch
+
+    results: List["BatchResult"] = []
+    for position, name in enumerate(workloads):
+        if deadline is not None and time.time() >= deadline:
+            remaining = list(workloads[position:])
+            raise SuiteDeadlineExceeded(
+                f"grid sweep deadline lapsed with {len(remaining)} of "
+                f"{len(workloads)} workloads remaining",
+                results=results, remaining=remaining)
+        results.append(run_batch(
+            name, points, scale=scale, engine=engine, use_cache=use_cache,
+            checkpoint=checkpoint, workers=workers))
     return results
 
 

@@ -421,3 +421,38 @@ class BoomBranchPredictor:
             self.stats.target_mispredicts += 1
             return True
         return False
+
+
+def share_fold_caches(predictors) -> int:
+    """Share TAGE history-fold memos across same-geometry tables.
+
+    ``_TageTable._fold_pair`` memoizes a *pure* function of the masked
+    global history — ``history -> (index fold, tag fold)`` depends only
+    on the table geometry ``(entries, history_length)``, never on the
+    table's contents or on which core is asking.  When a batched grid
+    run instantiates N predictors, each same-geometry table can
+    therefore adopt a single shared memo dict: one config's fold work
+    warms every other config's tables, and because the memo is pure
+    (and a capacity flush only ever costs recomputation), sharing is
+    bit-identity-safe.
+
+    *predictors* is an iterable of branch predictors (or ``None``);
+    anything without a TAGE direction predictor is skipped.  Returns
+    the number of tables that adopted another table's memo.
+    """
+    donors: Dict[Tuple[int, int], Dict[int, Tuple[int, int]]] = {}
+    shared = 0
+    for predictor in predictors:
+        direction = getattr(predictor, "direction", None)
+        tables = getattr(direction, "tables", None)
+        if not tables:
+            continue
+        for table in tables:
+            key = (table.entries, table.history_length)
+            donor = donors.get(key)
+            if donor is None:
+                donors[key] = table._folds
+            else:
+                table._folds = donor
+                shared += 1
+    return shared
