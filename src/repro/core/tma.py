@@ -264,3 +264,31 @@ def compute_tma(source: Union[CoreResult, Measurement, TmaInputs]
     if inputs.core == "rocket":
         return RocketTmaModel().compute(inputs)
     return BoomTmaModel().compute(inputs)
+
+
+def split_slots(total: float, weight_a: float,
+                weight_b: float) -> Dict[str, float]:
+    """Split *total* slots between two causes with an exact float sum.
+
+    Used by the multicore interference layer to divide Memory-Bound
+    slots into self vs. neighbor-induced shares proportionally to the
+    penalty weights each cause contributed.  The naive proportional
+    split can miss ``total`` by an ulp under IEEE rounding; the
+    correction loop below pins ``a + b == total`` *exactly* (required
+    by the attribution invariant tests).  A zero weight yields an exact
+    0.0 share, so "no neighbor penalty" means exactly zero
+    neighbor-induced slots.
+    """
+    denom = weight_a + weight_b
+    if weight_b <= 0.0 or denom <= 0.0:
+        return {"a": total, "b": 0.0}
+    if weight_a <= 0.0:
+        return {"a": 0.0, "b": total}
+    share_b = total * (weight_b / denom)
+    share_a = total - share_b
+    for _ in range(2):
+        if share_a + share_b == total:
+            break
+        share_b = total - share_a
+        share_a = total - share_b
+    return {"a": share_a, "b": share_b}

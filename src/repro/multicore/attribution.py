@@ -1,0 +1,79 @@
+"""Self-vs-neighbor attribution of Memory-Bound TMA slots.
+
+Under sharing, a core's Memory-Bound slots (`mem_bound` in both cores'
+level-2 TMA) conflate two causes: misses and bus waits the core would
+have suffered alone (*self*) and extra ones its neighbors induced
+(*neighbor*).  The uncore measures both causes directly:
+
+- the shadow tag array splits every L2 miss into would-miss-solo vs.
+  hit-solo-but-missed-shared (:class:`RequestorMetrics.self_misses` /
+  ``neighbor_induced_misses``);
+- DRAM-bus wait cycles are attributed by whether a *different*
+  requestor last held the bus (``bus_wait_self`` / ``bus_wait_neighbor``).
+
+Each cause is weighted by its cycle penalty (a neighbor-induced miss
+costs a DRAM round trip; a bus wait costs its wait cycles) and the
+Memory-Bound slot fraction is divided proportionally.  The split is
+pinned *exact* — ``self_share + neighbor_share == mem_bound`` as floats
+— via :func:`repro.core.tma.split_slots`, and a requestor with zero
+neighbor penalty gets exactly ``neighbor_share == 0.0`` (the idle-
+neighbor invariant the tests enforce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.tma import TmaResult, split_slots
+from .uncore import RequestorMetrics
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """Memory-Bound slot split for one core under sharing."""
+
+    #: The TMA level-2 Memory-Bound fraction being divided.
+    mem_bound: float
+    #: Slots this core would have lost alone.
+    self_share: float
+    #: Slots induced by neighbors (``self + neighbor == mem_bound``).
+    neighbor_share: float
+    #: The penalty weights behind the split (cycles).
+    self_penalty: int
+    neighbor_penalty: int
+
+    @property
+    def neighbor_fraction(self) -> float:
+        """Neighbor-induced share of Memory-Bound slots, in [0, 1]."""
+        if self.mem_bound == 0.0:
+            return 0.0
+        return self.neighbor_share / self.mem_bound
+
+    def to_payload(self) -> Dict[str, float]:
+        return {
+            "mem_bound": self.mem_bound,
+            "self": self.self_share,
+            "neighbor_induced": self.neighbor_share,
+            "self_penalty_cycles": float(self.self_penalty),
+            "neighbor_penalty_cycles": float(self.neighbor_penalty),
+        }
+
+
+def attribute_mem_bound(tma: TmaResult, metrics: RequestorMetrics,
+                        dram_latency: int) -> Attribution:
+    """Split *tma*'s Memory-Bound slots using the uncore's measurements."""
+    mem_bound = tma.level2.get("mem_bound", 0.0)
+    self_penalty = (metrics.self_misses * dram_latency
+                    + metrics.bus_wait_self)
+    neighbor_penalty = (metrics.neighbor_induced_misses * dram_latency
+                        + metrics.bus_wait_neighbor)
+    shares = split_slots(mem_bound, float(self_penalty),
+                         float(neighbor_penalty))
+    return Attribution(
+        mem_bound=mem_bound,
+        self_share=shares["a"],
+        neighbor_share=shares["b"],
+        self_penalty=self_penalty,
+        neighbor_penalty=neighbor_penalty,
+    )

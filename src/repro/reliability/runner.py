@@ -70,6 +70,11 @@ class RunOutcome:
     #: (mem_hits / disk_hits / misses), so parallel shards and service
     #: jobs can report cache behaviour across process boundaries.
     trace_cache: Optional[Dict[str, int]] = None
+    #: Structured result document for job kinds whose output is not a
+    #: Measurement+TMA pair (multicore scenario runs ship their whole
+    #: payload here; :func:`repro.service.job.outcome_payload` passes
+    #: it through under its own key).
+    payload: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:

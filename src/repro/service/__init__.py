@@ -23,8 +23,8 @@ Or over HTTP: ``repro-tma serve`` + ``repro-tma submit`` /
 
 from .app import TMAService
 from .client import JobRejected, ServiceClient, ServiceError
-from .job import (GridJob, JobRecord, JobValidationError, TMAJob,
-                  outcome_payload)
+from .job import (GridJob, JobRecord, JobValidationError, MulticoreJob,
+                  TMAJob, outcome_payload)
 from .metrics import Histogram, MetricsRegistry
 from .scheduler import JobScheduler, SubmitReceipt
 from .server import ServiceServer, make_server, serve_in_thread
@@ -39,6 +39,7 @@ __all__ = [
     "JobScheduler",
     "JobValidationError",
     "MetricsRegistry",
+    "MulticoreJob",
     "ResultStore",
     "ServiceClient",
     "ServiceError",

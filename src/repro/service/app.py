@@ -39,7 +39,7 @@ from typing import Any, Dict, List, Optional
 from ..cores.base import resolve_timing_engine
 from ..reliability.breaker import CircuitBreaker
 from .job import (DEFAULT_PRIORITY, MAX_PRIORITY, GridJob, JobRecord,
-                  JobValidationError, TMAJob, outcome_payload)
+                  JobValidationError, MulticoreJob, TMAJob, outcome_payload)
 from .metrics import MetricsRegistry
 from .scheduler import JobScheduler, SubmitReceipt
 from .store import ResultStore
@@ -350,6 +350,29 @@ class TMAService:
             receipt.retry_after = self._retry_after_estimate()
         self._refresh_gauges()
         return receipt
+
+    def submit_multicore_payload(self,
+                                 payload: Dict[str, Any]) -> SubmitReceipt:
+        """Admit a raw multicore submission: ``{scenario..., client, priority}``.
+
+        The resulting :class:`MulticoreJob` rides the exact TMAJob
+        path — admission, in-flight dedup, breaker, cached-payload
+        fast path, drain persistence — via :meth:`submit_job`.
+        """
+        if not isinstance(payload, dict):
+            raise JobValidationError("submission must be a JSON object")
+        body = dict(payload)
+        client = str(body.pop("client", "anonymous")) or "anonymous"
+        try:
+            priority = int(body.pop("priority", DEFAULT_PRIORITY))
+        except (TypeError, ValueError):
+            raise JobValidationError("priority must be an integer") from None
+        if not (0 <= priority <= MAX_PRIORITY):
+            raise JobValidationError(
+                f"priority must be in [0, {MAX_PRIORITY}]")
+        job = MulticoreJob.from_payload(body)
+        self.metrics.inc("multicore_submitted")
+        return self.submit_job(job, client=client, priority=priority)
 
     def submit_grid_payload(self, payload: Dict[str, Any]) -> GridRecord:
         """Admit a raw grid submission: ``{grid fields..., client, priority}``."""

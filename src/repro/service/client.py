@@ -158,6 +158,23 @@ class ServiceClient:
                 attempt += 1
                 time.sleep(pause)
 
+    def submit_multicore(self, scenario: str, retries: int = 0,
+                         **fields: Any) -> Dict[str, Any]:
+        """POST /multicore; optionally retry (honouring Retry-After) on 429."""
+        body = {"scenario": scenario, **fields}
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/multicore", body)
+            except JobRejected as rejected:
+                if attempt >= retries:
+                    raise
+                pause = max(self.retry_policy.delay(
+                                attempt, salt=f"multicore:{scenario}"),
+                            min(rejected.retry_after, 2.0))
+                attempt += 1
+                time.sleep(pause)
+
     def submit_grid(self, workload: str, retries: int = 0,
                     **fields: Any) -> Dict[str, Any]:
         """POST /grids; optionally retry (honouring Retry-After) on 429.

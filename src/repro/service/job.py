@@ -315,6 +315,137 @@ class GridJob:
         return job
 
 
+@dataclass(frozen=True)
+class MulticoreJob:
+    """One requested multicore scenario run (see :mod:`repro.multicore`).
+
+    Duck-types the :class:`TMAJob` surface the scheduler, store, and
+    dispatcher rely on (``workload``/``config``/``job_key``/
+    ``runner_spec``/``deadline_seconds``), so scenario jobs ride the
+    normal admission, dedup, breaker, and drain-persistence paths
+    unchanged.  ``workload`` is the scenario name and ``config`` is the
+    fixed tag ``"multicore"`` — together they form the breaker key, so
+    a repeatedly-failing scenario quarantines without affecting
+    single-core jobs.
+    """
+
+    scenario: str
+    cores: Optional[int] = None
+    scale: Optional[float] = None
+    shared_bus: Optional[bool] = None
+    arbitration: Optional[str] = None
+    use_cache: bool = True
+    deadline_seconds: Optional[float] = None
+
+    @property
+    def workload(self) -> str:
+        return self.scenario
+
+    @property
+    def config(self) -> str:
+        return "multicore"
+
+    def resolved(self):
+        """The scenario with this job's overrides applied."""
+        from ..multicore import get_scenario
+
+        return get_scenario(self.scenario).with_overrides(
+            cores=self.cores, scale=self.scale,
+            shared_bus=self.shared_bus, arbitration=self.arbitration)
+
+    def validate(self) -> None:
+        if self.scale is not None and not (0 < self.scale <= 10.0):
+            raise JobValidationError(
+                f"scale must be in (0, 10], got {self.scale}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise JobValidationError(
+                "deadline_seconds must be > 0 or null")
+        try:
+            self.resolved().validate()
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            raise JobValidationError(str(message)) from None
+
+    def cache_key(self) -> str:
+        """Key of the underlying scenario-payload disk-cache entry."""
+        from ..multicore import scenario_cache_key
+
+        return scenario_cache_key(self.resolved())
+
+    def job_key(self) -> str:
+        """Canonical dedup/store key for this scenario run.
+
+        Built on the scenario disk-cache key (which already folds the
+        resolved slots, scale, bus, arbitration, and the model +
+        multicore fingerprints) plus the execution policy, mirroring
+        :meth:`TMAJob.job_key`.
+        """
+        digest = hashlib.sha256(self.cache_key().encode())
+        digest.update(repr(self.use_cache).encode())
+        digest.update(repr(self.deadline_seconds).encode())
+        return digest.hexdigest()[:24]
+
+    def runner_spec(self) -> RunnerSpec:
+        return RunnerSpec(
+            scale=self.scale if self.scale is not None else 1.0,
+            max_cycles=None,
+            use_cache=self.use_cache,
+            scenario=self.scenario,
+            scenario_cores=self.cores,
+            scenario_scale=self.scale,
+            scenario_shared_bus=self.shared_bus,
+            scenario_arbitration=self.arbitration,
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "type": "multicore",
+            "scenario": self.scenario,
+            "cores": self.cores,
+            "scale": self.scale,
+            "shared_bus": self.shared_bus,
+            "arbitration": self.arbitration,
+            "use_cache": self.use_cache,
+            "deadline_seconds": self.deadline_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "MulticoreJob":
+        if not isinstance(payload, dict):
+            raise JobValidationError(
+                "multicore payload must be a JSON object")
+        if "scenario" not in payload:
+            raise JobValidationError(
+                "multicore payload requires 'scenario'")
+        known = {"type", "scenario", "cores", "scale", "shared_bus",
+                 "arbitration", "use_cache", "deadline_seconds"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise JobValidationError(
+                f"unknown multicore fields: {unknown}")
+        try:
+            job = cls(
+                scenario=str(payload["scenario"]),
+                cores=(None if payload.get("cores") is None
+                       else int(payload["cores"])),
+                scale=(None if payload.get("scale") is None
+                       else float(payload["scale"])),
+                shared_bus=(None if payload.get("shared_bus") is None
+                            else bool(payload["shared_bus"])),
+                arbitration=(None if payload.get("arbitration") is None
+                             else str(payload["arbitration"])),
+                use_cache=bool(payload.get("use_cache", True)),
+                deadline_seconds=(
+                    None if payload.get("deadline_seconds") is None
+                    else float(payload["deadline_seconds"])),
+            )
+        except (TypeError, ValueError) as exc:
+            raise JobValidationError(
+                f"malformed multicore payload: {exc}") from exc
+        job.validate()
+        return job
+
+
 def outcome_payload(outcome: RunOutcome,
                     from_cache: bool = False) -> Dict[str, Any]:
     """JSON-ready result summary for one finished execution."""
@@ -338,6 +469,8 @@ def outcome_payload(outcome: RunOutcome,
             "level2": {k: round(v, 6) for k, v in tma.level2.items()},
             "dominant": tma.dominant_class(),
         }
+    if outcome.payload is not None:
+        payload["multicore"] = outcome.payload
     return payload
 
 

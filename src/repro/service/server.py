@@ -5,6 +5,8 @@ Endpoints::
     POST /jobs          submit a job            -> 202 receipt
                         (429 + Retry-After on backpressure,
                          400 on validation errors)
+    POST /multicore     submit a multicore      -> 202 receipt (same
+                        scenario job             contract as /jobs)
     GET  /jobs/<id>     job status + result     -> 200 | 404
     POST /grids         submit a design-space   -> 202 grid receipt
                         grid (fans out into      (429 when the whole
@@ -85,6 +87,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/jobs":
             self._post_jobs()
+        elif self.path == "/multicore":
+            self._post_jobs(multicore=True)
         elif self.path == "/grids":
             self._post_grids()
         elif self.path == "/admin/drain":
@@ -93,10 +97,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         else:
             self._send_json(404, {"error": f"no such endpoint {self.path}"})
 
-    def _post_jobs(self) -> None:
+    def _post_jobs(self, multicore: bool = False) -> None:
         try:
             payload = self._read_json_body()
-            receipt = self.service.submit_payload(payload)
+            submit = (self.service.submit_multicore_payload if multicore
+                      else self.service.submit_payload)
+            receipt = submit(payload)
         except JobValidationError as exc:
             self._send_json(400, {"error": str(exc)})
             return

@@ -33,7 +33,7 @@ from typing import Any, Dict, List, Optional
 from ..core.tma import compute_tma
 from ..reliability.runner import RunOutcome
 from ..tools import cache
-from .job import TMAJob, outcome_payload
+from .job import MulticoreJob, TMAJob, outcome_payload
 
 #: Drain-persistence file name (lives inside the cache directory so
 #: ``REPRO_CACHE_DIR`` isolates it along with the results).  JSON
@@ -61,6 +61,8 @@ class ResultStore:
 
     def lookup(self, job: TMAJob) -> Optional[Dict[str, Any]]:
         """Result payload for *job* if served straight from the cache."""
+        if isinstance(job, MulticoreJob):
+            return self._lookup_multicore(job)
         if not self.servable(job):
             return None
         result = cache.load(job.cache_key())
@@ -80,6 +82,25 @@ class ResultStore:
             "dominant": tma.dominant_class(),
         }
         return payload
+
+    def _lookup_multicore(self, job: MulticoreJob) -> Optional[Dict[str, Any]]:
+        """Serve a scenario job from the cached scenario payload.
+
+        Scenario runs cache their whole result document (see
+        :func:`repro.multicore.run_scenario_payload`), so a repeat
+        request reconstructs the job result verbatim — no recompute.
+        """
+        if not job.use_cache:
+            return None
+        cached = cache.load_payload(job.cache_key())
+        if cached is None:
+            return None
+        return {
+            "status": "ok",
+            "attempts": 0,
+            "from_cache": True,
+            "multicore": dict(cached, from_cache=True),
+        }
 
     # ------------------------------------------------------------------
     # Durable requeue across restarts
@@ -114,7 +135,13 @@ class ResultStore:
         jobs: List[TMAJob] = []
         for payload in document.get("jobs", []):
             try:
-                jobs.append(TMAJob.from_payload(payload))
+                # The "type" tag picks the job class; untagged payloads
+                # are single-core jobs (including every pre-tag file).
+                if (isinstance(payload, dict)
+                        and payload.get("type") == "multicore"):
+                    jobs.append(MulticoreJob.from_payload(payload))
+                else:
+                    jobs.append(TMAJob.from_payload(payload))
             except ValueError:
                 continue  # a stale workload/config name: drop, don't crash
         try:

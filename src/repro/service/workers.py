@@ -58,11 +58,48 @@ def execute_job(spec: RunnerSpec, workload: str, config_name: str,
         # Chaos worker-kill seam: first execution only (re-queued jobs
         # run with the hook disabled), so injected kills always recover.
         chaos.maybe_kill_worker(f"job:{workload}:{config_name}")
+    if spec.scenario is not None:
+        return _execute_multicore(spec)
     # Accept grid point keys ("rocket+l1d=8KiB") as well as registry
     # names, so fanned-out grid jobs run through the same path.
     config = resolve_config_spec(config_name)
     runner = spec.build()
     return runner.run_one(workload, config)
+
+
+def _execute_multicore(spec: RunnerSpec) -> RunOutcome:
+    """Run one multicore scenario job; the payload rides the outcome.
+
+    Scenario runs have no Measurement/TMA pair of their own — the
+    per-core documents live inside the scenario payload — so the
+    outcome carries the whole payload for
+    :func:`repro.service.job.outcome_payload` to pass through.
+    """
+    from ..isa.errors import DeadlineExceeded
+    from ..multicore import run_scenario_payload
+
+    assert spec.scenario is not None
+    try:
+        if spec.deadline is not None and time.time() >= spec.deadline:
+            raise DeadlineExceeded(
+                f"scenario {spec.scenario!r} deadline lapsed before start")
+        payload = run_scenario_payload(
+            spec.scenario,
+            cores=spec.scenario_cores,
+            scale=spec.scenario_scale,
+            shared_bus=spec.scenario_shared_bus,
+            arbitration=spec.scenario_arbitration,
+            engine=spec.timing_engine,
+            max_cycles=spec.max_cycles,
+            use_cache=spec.use_cache)
+    except Exception as exc:  # noqa: BLE001 - reported on the outcome
+        return RunOutcome(workload=spec.scenario,
+                          config_name="multicore",
+                          status="failed", attempts=1,
+                          error_class=type(exc).__name__,
+                          error=str(exc))
+    return RunOutcome(workload=spec.scenario, config_name="multicore",
+                      status="ok", attempts=1, payload=payload)
 
 
 class WorkerPool:

@@ -63,7 +63,7 @@ from ..workloads import (
 from .parallel import ParallelSweepRunner
 
 #: Snapshot written by this PR's harness; bump per PR with a baseline.
-DEFAULT_OUTPUT = "BENCH_PR7.json"
+DEFAULT_OUTPUT = "BENCH_PR8.json"
 
 #: Ratio metrics the gate enforces ("section.key" paths).  Anything
 #: not listed here is informational only.  ``parallel.speedup`` is
@@ -584,6 +584,65 @@ def _bench_parallel(
     }
 
 
+def _bench_multicore(scale: float) -> Dict:
+    """Multicore interference scenario: wall clock + attribution checks.
+
+    Runs ``noisy-neighbor`` fresh through the lockstep harness and
+    records the victim's neighbor-induced attribution (deterministic —
+    the turnstile serializes cycles), plus two identity checks the gate
+    enforces: Memory-Bound conservation (``self + neighbor ==
+    mem_bound`` exactly on every core) and the solo-equivalence oracle
+    (one active core through the full uncore + turnstile stack must be
+    bit-identical to the single-core pipeline).
+    """
+    from ..multicore import CoreSlot, Scenario, get_scenario, run_scenario
+    from .tma_tool import run_core
+
+    scenario = get_scenario("noisy-neighbor").with_overrides(scale=scale)
+    start = time.perf_counter()
+    result = run_scenario(scenario)
+    wall = time.perf_counter() - start
+
+    conserved = True
+    for core in result.cores:
+        attribution = core.attribution
+        if (attribution.self_share + attribution.neighbor_share
+                != attribution.mem_bound):
+            conserved = False
+        if abs(sum(core.tma.level1.values()) - 1.0) > 1e-9:
+            conserved = False
+    victim = result.core_at(0)
+    aggressor = result.core_at(1)
+
+    solo_scenario = Scenario(
+        name="bench-solo", description="solo-equivalence oracle",
+        slots=(CoreSlot("median", "rocket"), CoreSlot("idle", "rocket")),
+        scale=scale)
+    lockstep = run_scenario(solo_scenario, force_lockstep=True).core_at(0)
+    solo = run_core("median", ROCKET, scale=scale, use_cache=False)
+    solo_identical = (
+        lockstep.result.cycles == solo.cycles
+        and lockstep.result.instret == solo.instret
+        and astuple(lockstep.result.l1d_stats) == astuple(solo.l1d_stats)
+        and astuple(lockstep.result.l2_stats) == astuple(solo.l2_stats)
+        and lockstep.attribution.neighbor_share == 0.0)
+
+    total_cycles = sum(c.result.cycles for c in result.cores)
+    return {
+        "scenario": scenario.name,
+        "scale": scale,
+        "cores": len(result.cores),
+        "wall_s": round(wall, 4),
+        "lockstep_cycles": result.cycles,
+        "kcycles_per_s": round(total_cycles / wall / 1e3, 1),
+        "victim_neighbor_fraction": round(
+            victim.attribution.neighbor_fraction, 6),
+        "aggressor_bandwidth_share": round(aggressor.bandwidth_share, 6),
+        "conserved": conserved,
+        "solo_identical": solo_identical,
+    }
+
+
 def run_benchmarks(
     quick: bool = False,
     workers: Optional[int] = None,
@@ -611,6 +670,9 @@ def run_benchmarks(
         "fastpath": _bench_fastpath(workloads, scale, inject_slowdown),
         "timing": _bench_timing(scale, workers),
         "parallel": _bench_parallel(workloads, scale, workers),
+        # Fixed small scale: the lockstep harness serializes cycles
+        # across cores, so the section stays CI-cheap at any mode.
+        "multicore": _bench_multicore(0.3),
     }
 
 
@@ -677,6 +739,29 @@ def compare_benchmarks(
             "timing.identical: columnar and object timing engines "
             "produced different CoreResults"
         )
+    multicore = current.get("multicore", {})
+    if not multicore.get("solo_identical", True):
+        problems.append(
+            "multicore.solo_identical: one core through the shared "
+            "uncore + turnstile diverged from the single-core pipeline"
+        )
+    if not multicore.get("conserved", True):
+        problems.append(
+            "multicore.conserved: self + neighbor attribution no "
+            "longer sums exactly to the Memory-Bound slots"
+        )
+    # Attribution stability: the split is deterministic, so against a
+    # same-model baseline it should be unchanged; large drift means a
+    # model change that must be acknowledged with a new baseline.
+    base_fraction = _lookup(baseline, "multicore.victim_neighbor_fraction")
+    cur_fraction = _lookup(current, "multicore.victim_neighbor_fraction")
+    if base_fraction is not None and cur_fraction is not None:
+        drift = abs(cur_fraction - base_fraction)
+        if drift > max(0.02, 0.5 * base_fraction):
+            problems.append(
+                f"multicore.victim_neighbor_fraction: {cur_fraction:.4f} "
+                f"drifted from baseline {base_fraction:.4f}"
+            )
     return problems
 
 
@@ -767,6 +852,18 @@ def render_payload(payload: Dict) -> str:
         f"efficiency {par['efficiency']:.2f}  "
         f"identical={par['identical']} engine={par['engine']}",
     ]
+    multicore = payload.get("multicore")
+    if multicore:
+        lines.append(
+            f"  multicore: {multicore['scenario']} x{multicore['cores']} "
+            f"scale={multicore['scale']}  "
+            f"{multicore['lockstep_cycles']} lockstep cycles in "
+            f"{multicore['wall_s']:.2f}s "
+            f"({multicore['kcycles_per_s']:.0f} kcyc/s)  "
+            f"victim nbr {multicore['victim_neighbor_fraction']:.4f}  "
+            f"conserved={multicore['conserved']} "
+            f"solo_identical={multicore['solo_identical']}"
+        )
     return "\n".join(lines)
 
 

@@ -263,10 +263,17 @@ def store(key: str, result: CoreResult) -> bool:
     embedded checksum is what makes those mangled entries *detectable*
     on the next read.
     """
+    payload = _serialize(result)
+    return _write_entry(key, payload)
+
+
+def _write_entry(key: str, payload: Dict[str, Any]) -> bool:
+    """Checksum, atomically write, and LRU-prune one entry document."""
     from ..chaos import injector as chaos
 
-    payload = _serialize(result)
-    payload[_CHECKSUM_KEY] = _payload_checksum(payload)
+    payload = dict(payload)
+    payload[_CHECKSUM_KEY] = _payload_checksum(
+        {k: v for k, v in payload.items() if k != _CHECKSUM_KEY})
     data = json.dumps(payload).encode("utf-8")
     directory = cache_dir()
     path = directory / f"{key}.json"
@@ -293,6 +300,48 @@ def store(key: str, result: CoreResult) -> bool:
         prune(max_bytes=limit_bytes, max_entries=limit_entries,
               keep=(key,))
     return True
+
+
+# ----------------------------------------------------------------------
+# Generic JSON payload entries
+#
+# Results that are not a CoreResult (multicore scenario payloads, for
+# now) share the same store: checksummed, atomically written, subject to
+# the same LRU budget.  A wrapper key keeps them from ever being
+# mistaken for a CoreResult entry (``load`` on one simply misses).
+
+
+_PAYLOAD_WRAPPER_KEY = "__payload__"
+
+
+def store_payload(key: str, payload: Dict[str, Any]) -> bool:
+    """Write an arbitrary JSON *payload* under *key* (best-effort)."""
+    return _write_entry(key, {_PAYLOAD_WRAPPER_KEY: payload})
+
+
+def load_payload(key: str) -> Optional[Dict[str, Any]]:
+    """Read a payload entry; any damage or schema mismatch is a miss."""
+    path = entry_path(key)
+    if not path.exists():
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    stored_sum = document.pop(_CHECKSUM_KEY, None)
+    if stored_sum is None or _payload_checksum(document) != stored_sum:
+        return None
+    payload = document.get(_PAYLOAD_WRAPPER_KEY)
+    if not isinstance(payload, dict):
+        return None
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+    return payload
 
 
 # ----------------------------------------------------------------------

@@ -153,6 +153,7 @@ def _grid_json_payload(points, batches, scale: float) -> dict:
     from ..core.tma import TOP_LEVEL
 
     workloads = {}
+    degraded = []
     for batch in batches:
         workloads[batch.workload] = {
             "stats": asdict(batch.stats),
@@ -168,8 +169,15 @@ def _grid_json_payload(points, batches, scale: float) -> dict:
                                               batch.tma)
             },
         }
+        if batch.stats.fallback_reason:
+            degraded.append({"workload": batch.workload,
+                             "mode": batch.stats.mode,
+                             "fallback_reason": batch.stats.fallback_reason})
+    # Automation watching a sweep needs the pool-fallback story at the
+    # top level, not buried per-workload: `degraded` lists every batch
+    # that fell back to inline execution and why.
     return {"scale": scale, "grid": [p.key for p in points],
-            "workloads": workloads}
+            "workloads": workloads, "degraded": degraded}
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -217,6 +225,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for batch in exc.results:
             print(_render_grid_matrix(batch))
             print()
+        if args.json:
+            # Write what finished so automation sees the partial matrix
+            # (and any pool fallbacks) instead of an absent file.
+            payload = _grid_json_payload(points, exc.results, args.scale)
+            payload["partial"] = True
+            payload["remaining"] = list(exc.remaining)
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            print(f"wrote {args.json} (partial)")
         print(f"deadline lapsed: {len(exc.remaining)} workload(s) "
               f"remaining ({', '.join(exc.remaining)}); "
               "re-run with --resume to finish", file=sys.stderr)
@@ -229,6 +246,96 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(_grid_json_payload(points, batches, args.scale),
                       handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _render_multicore(payload: dict) -> str:
+    """Human-readable scenario report from a multicore payload."""
+    from ..core.report import format_percent
+
+    l2 = (f"{payload['l2_kib']}KiB" if payload.get("l2_kib")
+          else "512KiB")
+    bus = "shared" if payload.get("shared_bus") else "private"
+    lines = [
+        f"scenario {payload['scenario']}  scale {payload['scale']:g}  "
+        f"cores {len(payload['cores'])}  bus {bus}  "
+        f"arbitration {payload['arbitration']}  L2 {l2}",
+        f"lockstep cycles {payload['cycles']}  "
+        f"wall {payload['wall_s']:.3f}s"
+        + ("  (cached)" if payload.get("from_cache") else ""),
+    ]
+    for core in payload["cores"]:
+        lines.append("")
+        head = (f"core {core['index']}: {core['workload']} @ "
+                f"{core['config']}")
+        if core.get("idle"):
+            lines.append(f"{head}  [idle]")
+            continue
+        lines.append(head)
+        lines.append(f"  cycles {core['cycles']}  "
+                     f"instret {core['instret']}  "
+                     f"IPC {core['ipc']:.3f}  "
+                     f"dominant {core['tma']['dominant']}")
+        level1 = core["tma"]["level1"]
+        lines.append("  TMA  " + "  ".join(
+            f"{cls} {format_percent(frac)}"
+            for cls, frac in sorted(level1.items())))
+        attribution = core["attribution"]
+        lines.append(
+            f"  mem-bound {format_percent(attribution['mem_bound'])} = "
+            f"self {format_percent(attribution['self'])} + "
+            f"neighbor {format_percent(attribution['neighbor_induced'])}")
+        uncore = core["uncore"]
+        lines.append(
+            f"  uncore  L2 {uncore['accesses']} accesses, "
+            f"{uncore['misses']} misses "
+            f"(self {uncore['self_misses']}, "
+            f"neighbor-induced {uncore['neighbor_induced_misses']})  "
+            f"bus wait self {uncore['bus_wait_self']} / "
+            f"neighbor {uncore['bus_wait_neighbor']}  "
+            f"bandwidth {format_percent(uncore['bandwidth_share'])}")
+    return "\n".join(lines)
+
+
+def _cmd_multicore(args: argparse.Namespace) -> int:
+    from ..multicore import (
+        SCENARIOS,
+        MulticoreError,
+        run_scenario_payload,
+        scenario_names,
+    )
+
+    if args.list:
+        for name in scenario_names():
+            scenario = SCENARIOS[name]
+            mix = ", ".join(f"{slot.workload}@{slot.config}"
+                            for slot in scenario.slots)
+            print(f"{name:<16s}{mix}")
+            print(f"{'':<16s}{scenario.description}")
+        return 0
+    if not args.scenario:
+        print("--scenario is required (or --list)", file=sys.stderr)
+        return 2
+    try:
+        payload = run_scenario_payload(
+            args.scenario, cores=args.cores, scale=args.scale,
+            shared_bus=False if args.no_shared_bus else None,
+            arbitration=args.arbitration, engine=args.timing_engine,
+            use_cache=not args.no_cache)
+    except KeyError as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"bad scenario spec: {exc}", file=sys.stderr)
+        return 2
+    except MulticoreError as exc:
+        print(f"multicore run failed: {exc}", file=sys.stderr)
+        return 1
+    print(_render_multicore(payload))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
     return 0
 
@@ -634,6 +741,32 @@ def build_parser() -> argparse.ArgumentParser:
                               "checkpointed, exit code 3 when it lapses")
     _add_timing_engine(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_mc = sub.add_parser(
+        "multicore",
+        help="co-located cores over a shared uncore, with "
+             "self-vs-neighbor Memory-Bound attribution")
+    p_mc.add_argument("--scenario", default=None,
+                      help="named scenario (see --list)")
+    p_mc.add_argument("--list", action="store_true",
+                      help="list the scenario registry and exit")
+    p_mc.add_argument("--cores", type=int, default=None,
+                      help="trim/pad the mix to N cores "
+                           "(pads with idle slots)")
+    p_mc.add_argument("--scale", type=float, default=None,
+                      help="workload scale override")
+    p_mc.add_argument("--arbitration", default=None,
+                      choices=["round-robin", "fcfs"],
+                      help="uncore bus arbitration override")
+    p_mc.add_argument("--no-shared-bus", action="store_true",
+                      help="give each core a private DRAM bus "
+                           "(isolates L2 capacity contention)")
+    p_mc.add_argument("--no-cache", action="store_true",
+                      help="bypass the on-disk result cache")
+    p_mc.add_argument("--json", default=None,
+                      help="also write the scenario payload as JSON")
+    _add_timing_engine(p_mc)
+    p_mc.set_defaults(func=_cmd_multicore)
 
     p_mix = sub.add_parser("mix", help="dynamic instruction mix")
     p_mix.add_argument("--workload", required=True)

@@ -76,6 +76,16 @@ class RunnerSpec:
     #: CLI / service job into the worker-side runner: attempts that
     #: cannot start before it fail fast with ``DeadlineExceeded``.
     deadline: Optional[float] = None
+    #: Multicore dispatch: a named scenario routes
+    #: :func:`repro.service.workers.execute_job` through the lockstep
+    #: harness instead of the single-core runner.  The override fields
+    #: mirror :meth:`repro.multicore.Scenario.with_overrides`; None
+    #: means "use the scenario's own value".
+    scenario: Optional[str] = None
+    scenario_cores: Optional[int] = None
+    scenario_scale: Optional[float] = None
+    scenario_shared_bus: Optional[bool] = None
+    scenario_arbitration: Optional[str] = None
 
     @classmethod
     def from_runner(cls, runner: ResilientRunner) -> "RunnerSpec":

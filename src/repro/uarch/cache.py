@@ -17,7 +17,7 @@ Two access styles are provided because the two cores differ:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -88,6 +88,10 @@ class Cache:
         self.bus_gap = bus_gap
         self._bus_free = 0
         self.stats = CacheStats()
+        #: Optional per-requestor breakdown of :attr:`stats`, populated
+        #: lazily and only for accesses that pass ``requestor=``.  The
+        #: common single-agent path never touches it.
+        self.requestor_stats: Dict[Hashable, CacheStats] = {}
         num_sets = config.num_sets
         self._set_shift = config.block_bytes.bit_length() - 1
         self._set_mask = num_sets - 1
@@ -104,16 +108,31 @@ class Cache:
         set_index, tag = self._index(addr)
         return tag in self._sets[set_index]
 
+    def per_requestor(self, requestor: Hashable) -> CacheStats:
+        """Per-requestor slice of :attr:`stats` (created on first use)."""
+        stats = self.requestor_stats.get(requestor)
+        if stats is None:
+            stats = self.requestor_stats[requestor] = CacheStats()
+        return stats
+
     def access(self, addr: int, is_store: bool = False,
-               cycle: Optional[int] = None) -> Tuple[bool, int]:
+               cycle: Optional[int] = None,
+               requestor: Optional[Hashable] = None) -> Tuple[bool, int]:
         """Access *addr*; return ``(hit_at_this_level, total_latency)``.
 
         Misses recursively access the next level (or DRAM) and install
         the block here, evicting LRU.  When *cycle* is supplied, misses
         below a bandwidth-limited level are spaced by ``bus_gap`` cycles
-        (DRAM bandwidth); without it only latency is modelled.
+        (DRAM bandwidth); without it only latency is modelled.  When
+        *requestor* is supplied the access is additionally attributed to
+        that requestor's :class:`CacheStats` (writebacks count against
+        the requestor whose miss triggered the eviction).
         """
         self.stats.accesses += 1
+        rstats = None
+        if requestor is not None:
+            rstats = self.per_requestor(requestor)
+            rstats.accesses += 1
         set_index, tag = self._index(addr)
         blocks = self._sets[set_index]
         if tag in blocks:
@@ -124,6 +143,8 @@ class Cache:
             return True, self.config.hit_latency
 
         self.stats.misses += 1
+        if rstats is not None:
+            rstats.misses += 1
         if self.next_level is not None:
             below_cycle = None if cycle is None \
                 else cycle + self.config.hit_latency
@@ -141,15 +162,18 @@ class Cache:
                 # Blocking callers serialize anyway; advance the bus so
                 # concurrent agents (e.g. the I-cache) still contend.
                 self._bus_free += self.bus_gap
-        self._install(set_index, tag, is_store)
+        self._install(set_index, tag, is_store, requestor=requestor)
         return False, total
 
-    def _install(self, set_index: int, tag: int, is_store: bool) -> None:
+    def _install(self, set_index: int, tag: int, is_store: bool,
+                 requestor: Optional[Hashable] = None) -> None:
         blocks = self._sets[set_index]
         if len(blocks) >= self.config.ways:
             victim = blocks.pop()
             if self._dirty[set_index].pop(victim, False):
                 self.stats.writebacks += 1
+                if requestor is not None:
+                    self.per_requestor(requestor).writebacks += 1
         blocks.insert(0, tag)
         if is_store:
             self._dirty[set_index][tag] = True
@@ -271,13 +295,17 @@ class NonBlockingCache:
         return self.cache.stats
 
     def access(self, addr: int, cycle: int,
-               is_store: bool = False) -> Tuple[bool, int]:
+               is_store: bool = False,
+               requestor: Optional[Hashable] = None) -> Tuple[bool, int]:
         """Access at *cycle*; return ``(hit, data_ready_cycle)``."""
-        hit, ready, _ = self.access_ex(addr, cycle, is_store=is_store)
+        hit, ready, _ = self.access_ex(addr, cycle, is_store=is_store,
+                                       requestor=requestor)
         return hit, ready
 
     def access_ex(self, addr: int, cycle: int,
-                  is_store: bool = False) -> Tuple[bool, int, bool]:
+                  is_store: bool = False,
+                  requestor: Optional[Hashable] = None,
+                  ) -> Tuple[bool, int, bool]:
         """Access at *cycle*; return ``(hit, ready_cycle, primary_miss)``.
 
         A miss allocates/merges an MSHR; merged secondary misses report
@@ -290,10 +318,12 @@ class NonBlockingCache:
         if in_flight is not None and in_flight.ready_cycle > cycle:
             # Secondary miss: merge, data arrives with the refill.
             self.cache.stats.accesses += 1
+            if requestor is not None:
+                self.cache.per_requestor(requestor).accesses += 1
             self.mshrs.merges += 1
             return False, in_flight.ready_cycle, False
         hit, latency = self.cache.access(addr, is_store=is_store,
-                                         cycle=cycle)
+                                         cycle=cycle, requestor=requestor)
         if hit:
             return True, cycle + latency, False
         ready = cycle + latency

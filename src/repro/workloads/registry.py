@@ -41,6 +41,18 @@ class Workload:
     expected_exit: Optional[Callable[[float], int]] = None
 
 
+#: Reserved pseudo-workload name meaning "this core slot is unused".
+#: Multicore scenarios accept it wherever a workload name is expected;
+#: it never reaches :func:`build_trace` (an idle slot instantiates no
+#: core at all), so it is deliberately *not* a registry entry.
+IDLE_WORKLOAD = "idle"
+
+
+def is_idle(name: str) -> bool:
+    """True when *name* is the reserved idle pseudo-workload."""
+    return name == IDLE_WORKLOAD
+
+
 _REGISTRY: Dict[str, Workload] = {}
 _PROGRAM_CACHE: Dict[Tuple[str, float], Program] = {}
 _TRACE_CACHE: Dict[Tuple[str, float], DynamicTrace] = {}
@@ -48,6 +60,10 @@ _TRACE_CACHE: Dict[Tuple[str, float], DynamicTrace] = {}
 
 def register(workload: Workload) -> Workload:
     """Add *workload* to the registry (name must be unique)."""
+    if is_idle(workload.name):
+        raise ValueError(
+            f"workload name {IDLE_WORKLOAD!r} is reserved for idle "
+            f"multicore slots")
     if workload.name in _REGISTRY:
         raise ValueError(f"workload {workload.name!r} already registered")
     _REGISTRY[workload.name] = workload
@@ -65,6 +81,10 @@ def get_workload(name: str) -> Workload:
     """Look up a workload; raises KeyError with suggestions."""
     _ensure_loaded()
     if name not in _REGISTRY:
+        if is_idle(name):
+            raise KeyError(
+                f"{IDLE_WORKLOAD!r} is the reserved idle slot marker, "
+                f"not a runnable workload")
         raise KeyError(
             f"unknown workload {name!r}; known: {sorted(_REGISTRY)}")
     return _REGISTRY[name]

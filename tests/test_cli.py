@@ -206,3 +206,119 @@ def test_submit_unreachable_server(capsys):
                            "--retries", "0", "--timeout", "2")
     assert code == 1
     assert "submit failed" in err
+
+
+def test_multicore_list(capsys):
+    code, out, _ = run_cli(capsys, "multicore", "--list")
+    assert code == 0
+    for name in ("noisy-neighbor", "symmetric", "latency-victim",
+                 "capacity-clash"):
+        assert name in out
+
+
+def test_multicore_requires_scenario(capsys):
+    code, _, err = run_cli(capsys, "multicore")
+    assert code == 2
+    assert "scenario" in err
+
+
+def test_multicore_unknown_scenario(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    code, _, err = run_cli(capsys, "multicore", "--scenario", "no-such")
+    assert code == 2
+    assert "no-such" in err
+
+
+def test_multicore_run_renders_and_writes_json(capsys, tmp_path,
+                                               monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    json_path = tmp_path / "mc.json"
+    code, out, _ = run_cli(capsys, "multicore", "--scenario",
+                           "noisy-neighbor", "--scale", "0.1",
+                           "--json", str(json_path))
+    assert code == 0
+    assert "noisy-neighbor" in out
+    assert "mem-bound" in out
+    assert "neighbor" in out
+
+    import json
+
+    payload = json.loads(json_path.read_text())
+    assert payload["scenario"] == "noisy-neighbor"
+    active = [c for c in payload["cores"] if not c.get("idle")]
+    assert len(active) == 2
+    for core in active:
+        attribution = core["attribution"]
+        assert (attribution["self"] + attribution["neighbor_induced"]
+                == attribution["mem_bound"])
+
+    # Second run is served from the payload cache.
+    code, out, _ = run_cli(capsys, "multicore", "--scenario",
+                           "noisy-neighbor", "--scale", "0.1")
+    assert code == 0
+    assert "(cached)" in out
+
+
+def test_sweep_json_surfaces_pool_fallback(capsys, tmp_path, monkeypatch):
+    """Regression: a degraded sweep must say so in its JSON report.
+
+    A broken process pool silently fell back to inline execution; now
+    the per-workload stats carry ``fallback_reason``/``mode`` and the
+    report lists every degraded batch at the top level.
+    """
+    import json
+
+    from repro.tools import pool
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+    def broken_factory(workers):
+        raise RuntimeError("boom")
+
+    monkeypatch.setitem(pool.EXECUTOR_FACTORIES, "process", broken_factory)
+    json_path = tmp_path / "sweep.json"
+    code, _, _ = run_cli(capsys, "sweep", "--workloads", "vvadd",
+                         "--grid", "rocket,small-boom", "--workers", "2",
+                         "--scale", "0.1", "--json", str(json_path))
+    assert code == 0  # fallback completes the sweep inline
+    payload = json.loads(json_path.read_text())
+    assert payload["degraded"] == [{
+        "workload": "vvadd",
+        "mode": "inline",
+        "fallback_reason": "RuntimeError: boom",
+    }]
+    stats = payload["workloads"]["vvadd"]["stats"]
+    assert stats["fallback_reason"] == "RuntimeError: boom"
+    assert stats["mode"] == "inline"
+
+
+def test_sweep_healthy_json_reports_no_degradation(capsys, tmp_path,
+                                                   monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    json_path = tmp_path / "sweep.json"
+    code, _, _ = run_cli(capsys, "sweep", "--workloads", "vvadd",
+                         "--grid", "rocket", "--scale", "0.1",
+                         "--json", str(json_path))
+    assert code == 0
+    payload = json.loads(json_path.read_text())
+    assert payload["degraded"] == []
+    assert payload["workloads"]["vvadd"]["stats"]["fallback_reason"] is None
+
+
+def test_sweep_deadline_writes_partial_json(capsys, tmp_path, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    json_path = tmp_path / "sweep.json"
+    code, out, err = run_cli(capsys, "sweep", "--workloads", "vvadd",
+                             "--grid", "rocket", "--scale", "0.1",
+                             "--deadline", "0", "--json", str(json_path))
+    assert code == 3
+    assert "deadline lapsed" in err
+    assert "(partial)" in out
+    payload = json.loads(json_path.read_text())
+    assert payload["partial"] is True
+    assert payload["remaining"] == ["vvadd"]
+    assert payload["degraded"] == []
