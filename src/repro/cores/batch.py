@@ -381,6 +381,10 @@ def run_batch(
     checkpoint=None,
     workers: Optional[int] = None,
     executor_factory=None,
+    windows: Optional[int] = None,
+    warmup: Optional[int] = None,
+    sampled: bool = False,
+    progress: bool = False,
 ) -> BatchResult:
     """Run one workload across a whole config grid in a single pass.
 
@@ -394,6 +398,14 @@ def run_batch(
     caller owns ``checkpoint.clear()``.  *workers* caps the process
     fan-out (default: the machine's core count; 1 forces the inline
     shared-trace path).  *executor_factory* is injectable for tests.
+
+    With *windows*, every pending point runs through the windowed
+    engine (:func:`repro.cores.windowed.run_windowed_points`): the pool
+    work unit becomes one (grid point, window) pair, so a grid of P
+    points over K windows exposes P*K tasks and keeps every worker busy
+    even on small grids.  Windowed results use their own cache and
+    checkpoint keys (the window plan is folded in), so they never
+    satisfy — or poison — plain batch entries.
     """
     from ..core.tma import compute_tma
     from ..tools import cache as result_cache
@@ -413,9 +425,33 @@ def run_batch(
     done: Dict[str, CoreResult] = {}
     start = time.perf_counter()
 
+    if windows is not None:
+        from .windowed import normalized_warmup
+
+        warm = normalized_warmup(windows, warmup, sampled)
+
+        def result_key(point: GridPoint) -> str:
+            return result_cache.windowed_cache_key(
+                workload, scale, point.config, windows, warm, sampled
+            )
+
+        def ckpt_key(point: GridPoint) -> str:
+            return (
+                point_key(workload, point.key)
+                + f";windows={windows};warmup={warm};sampled={int(sampled)}"
+            )
+
+    else:
+
+        def result_key(point: GridPoint) -> str:
+            return result_cache.cache_key(workload, scale, point.config)
+
+        def ckpt_key(point: GridPoint) -> str:
+            return point_key(workload, point.key)
+
     if checkpoint is not None:
         for point in points:
-            payload = checkpoint.get(point_key(workload, point.key))
+            payload = checkpoint.get(ckpt_key(point))
             if payload is None:
                 continue
             try:
@@ -428,15 +464,13 @@ def run_batch(
         for point in points:
             if point.key in done:
                 continue
-            cached = result_cache.load(
-                result_cache.cache_key(workload, scale, point.config)
-            )
+            cached = result_cache.load(result_key(point))
             if cached is not None:
                 done[point.key] = cached
                 stats.cache_hits += 1
                 if checkpoint is not None:
                     checkpoint.record(
-                        point_key(workload, point.key),
+                        ckpt_key(point),
                         result_cache.serialize_result(cached),
                     )
 
@@ -444,17 +478,35 @@ def run_batch(
         done[point.key] = result
         stats.executed += 1
         if use_cache:
-            result_cache.store(
-                result_cache.cache_key(workload, scale, point.config), result
-            )
+            result_cache.store(result_key(point), result)
         if checkpoint is not None:
             checkpoint.record(
-                point_key(workload, point.key),
+                ckpt_key(point),
                 result_cache.serialize_result(result),
             )
 
     pending = [point for point in points if point.key not in done]
-    if pending:
+    if pending and windows is not None:
+        from .windowed import run_windowed_points
+
+        count = _resolve_workers(workers, len(pending) * max(1, windows))
+        stats.workers = count
+        stats.mode = "process" if count > 1 else "inline"
+        stats.trace_fetches = 1
+        run_windowed_points(
+            workload,
+            pending,
+            windows=windows,
+            scale=scale,
+            warmup=warmup,
+            sampled=sampled,
+            engine=engine_name,
+            workers=count,
+            progress=progress,
+            executor_factory=executor_factory,
+            note=note,
+        )
+    elif pending:
         count = _resolve_workers(workers, len(pending))
         stats.workers = count
         if count > 1:

@@ -60,11 +60,62 @@ def execute_job(spec: RunnerSpec, workload: str, config_name: str,
         chaos.maybe_kill_worker(f"job:{workload}:{config_name}")
     if spec.scenario is not None:
         return _execute_multicore(spec)
+    if spec.windows is not None:
+        return _execute_windowed(spec, workload, config_name)
     # Accept grid point keys ("rocket+l1d=8KiB") as well as registry
     # names, so fanned-out grid jobs run through the same path.
     config = resolve_config_spec(config_name)
     runner = spec.build()
     return runner.run_one(workload, config)
+
+
+def _execute_windowed(spec: RunnerSpec, workload: str,
+                      config_name: str) -> RunOutcome:
+    """Run one windowed job; the result summary rides the outcome.
+
+    The job already executes inside a service pool worker, so the
+    windowed engine runs its windows serially here (``workers=1``)
+    rather than nesting a second process pool; service-level
+    parallelism comes from many jobs in flight.  The outcome payload is
+    labeled ``kind="windowed"`` and always carries the ``sampled`` flag
+    so :func:`repro.service.job.outcome_payload` can surface it.
+    """
+    from ..core.tma import compute_tma
+    from ..cores.windowed import run_windowed
+    from ..isa.errors import DeadlineExceeded
+
+    assert spec.windows is not None
+    config = resolve_config_spec(config_name)
+    try:
+        if spec.deadline is not None and time.time() >= spec.deadline:
+            raise DeadlineExceeded(
+                f"windowed job {workload!r} deadline lapsed before start")
+        result = run_windowed(
+            workload, config, windows=spec.windows, scale=spec.scale,
+            warmup=spec.windows_warmup, sampled=spec.windows_sampled,
+            engine=spec.timing_engine, use_cache=spec.use_cache, workers=1)
+        tma = compute_tma(result)
+    except Exception as exc:  # noqa: BLE001 - reported on the outcome
+        return RunOutcome(workload=workload, config_name=config_name,
+                          status="failed", attempts=1,
+                          error_class=type(exc).__name__,
+                          error=str(exc))
+    payload = {
+        "kind": "windowed",
+        "sampled": result.sampled,
+        "windowed": result.windowed,
+        "cycles": result.cycles,
+        "instret": result.instret,
+        "ipc": round(result.instret / result.cycles, 6)
+        if result.cycles else 0.0,
+        "tma": {
+            "level1": {k: round(v, 6) for k, v in tma.level1.items()},
+            "level2": {k: round(v, 6) for k, v in tma.level2.items()},
+            "dominant": tma.dominant_class(),
+        },
+    }
+    return RunOutcome(workload=workload, config_name=config_name,
+                      status="ok", attempts=1, payload=payload)
 
 
 def _execute_multicore(spec: RunnerSpec) -> RunOutcome:

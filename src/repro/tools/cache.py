@@ -48,8 +48,10 @@ _FINGERPRINT_MODULES = (
     "repro.isa.executor", "repro.isa.assembler", "repro.isa.instructions",
     "repro.uarch.cache", "repro.uarch.branch", "repro.uarch.tlb",
     "repro.cores.base", "repro.cores.rocket.core", "repro.cores.boom.core",
+    "repro.cores.windowed",
     "repro.workloads.micro", "repro.workloads.spec",
     "repro.workloads.casestudy", "repro.workloads.data",
+    "repro.workloads.huge",
 )
 
 _fingerprint_cache: Optional[str] = None
@@ -113,6 +115,24 @@ def cache_key(workload: str, scale: float,
     return digest.hexdigest()[:24]
 
 
+def windowed_cache_key(workload: str, scale: float,
+                       config: Union[RocketConfig, BoomConfig],
+                       windows: int, warmup: int,
+                       sampled: bool) -> str:
+    """Cache key for a windowed/sampled run of (workload, scale, config).
+
+    Folds the window plan on top of :func:`cache_key` so a stitched (or
+    extrapolated) result can never collide with the plain full-run
+    entry, another window count, or the other mode — exact and sampled
+    results live in distinct slots by construction.
+    """
+    digest = hashlib.sha256()
+    digest.update(cache_key(workload, scale, config).encode())
+    digest.update(
+        f"windows={windows};warmup={warmup};sampled={int(sampled)}".encode())
+    return digest.hexdigest()[:24]
+
+
 def _serialize(result: CoreResult) -> Dict[str, Any]:
     return {
         "workload": result.workload,
@@ -129,6 +149,8 @@ def _serialize(result: CoreResult) -> Dict[str, Any]:
         "l2_stats": asdict(result.l2_stats),
         "predictor_stats": asdict(result.predictor_stats),
         "extra": result.extra,
+        "sampled": result.sampled,
+        "windowed": result.windowed,
     }
 
 
@@ -149,6 +171,9 @@ def _deserialize(payload: Dict[str, Any]) -> CoreResult:
         l2_stats=CacheStats(**payload["l2_stats"]),
         predictor_stats=PredictorStats(**payload["predictor_stats"]),
         extra=payload.get("extra", {}),
+        # Absent in pre-windowing entries: default to a plain exact run.
+        sampled=bool(payload.get("sampled", False)),
+        windowed=payload.get("windowed"),
     )
 
 

@@ -1,0 +1,171 @@
+"""The ``huge`` workload tier: traces too long for serial sweeps.
+
+These kernels follow the microbenchmark idiom (deterministic data,
+checksum-verified exit) but run one to two orders of magnitude more
+dynamic instructions at ``scale=1.0`` than the micro tier.  They are
+registered under :data:`~repro.workloads.registry.HUGE_CATEGORY`, which
+the registry excludes from default enumeration, and
+:func:`repro.tools.tma_tool.run_core` refuses to run them without
+``windows=`` — the windowed/sampled engine is the only sanctioned path
+(see ``docs/windowed.md``).
+
+Value growth in both kernels is bounded well under 2**52, so the
+Python ``expected_exit`` mirrors are plain integer arithmetic with no
+64-bit wraparound to emulate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .data import Lcg, dwords
+from .micro import _CHECKSUM_ASM, _weighted_checksum
+from .registry import HUGE_CATEGORY, Workload, register
+
+
+def _pow2_floor(value: int, minimum: int = 256) -> int:
+    size = minimum
+    while size * 2 <= max(value, minimum):
+        size *= 2
+    return size
+
+
+# ---------------------------------------------------------------------------
+# huge-stream — streaming read-read-write passes over a large array
+# (backend/memory-bound at full scale: the footprint dwarfs the L1D)
+# ---------------------------------------------------------------------------
+
+def _stream_params(scale: float) -> Tuple[int, int, int]:
+    n = _pow2_floor(int(4096 * scale))
+    passes = max(4, int(12 * scale))
+    stride = n // 2 + 1  # co-prime with the power-of-two mask
+    return n, passes, stride
+
+
+def _stream_values(n: int) -> List[int]:
+    return Lcg(97).values(n, 1 << 16)
+
+
+def _stream_source(scale: float) -> str:
+    n, passes, stride = _stream_params(scale)
+    values = _stream_values(n)
+    return f"""
+.data
+{dwords("arr", values)}
+.text
+_start:
+    la a0, arr
+    li s0, {n}
+    li s1, {passes}
+    li s2, {n - 1}            # index mask (n is a power of two)
+stream_pass:
+    beqz s1, stream_done
+    li t0, 0                  # i
+stream_loop:
+    bge t0, s0, stream_next
+    addi t1, t0, {stride}
+    and t1, t1, s2            # (i + stride) mod n
+    slli t2, t0, 3
+    add t2, a0, t2
+    ld t3, 0(t2)
+    slli t4, t1, 3
+    add t4, a0, t4
+    ld t5, 0(t4)
+    add t3, t3, t5
+    sd t3, 0(t2)
+    addi t0, t0, 1
+    j stream_loop
+stream_next:
+    addi s1, s1, -1
+    j stream_pass
+stream_done:
+{_CHECKSUM_ASM}
+"""
+
+
+def _stream_exit(scale: float) -> int:
+    n, passes, stride = _stream_params(scale)
+    arr = list(_stream_values(n))
+    mask = n - 1
+    for _ in range(passes):
+        for i in range(n):
+            arr[i] = arr[i] + arr[(i + stride) & mask]
+    return _weighted_checksum(arr)
+
+
+# ---------------------------------------------------------------------------
+# huge-walk — data-dependent branch per element (bad-speculation heavy)
+# ---------------------------------------------------------------------------
+
+def _walk_params(scale: float) -> Tuple[int, int]:
+    n = _pow2_floor(int(2048 * scale))
+    passes = max(6, int(20 * scale))
+    return n, passes
+
+
+def _walk_values(n: int) -> List[int]:
+    return Lcg(131).values(n, 1 << 16)
+
+
+def _walk_source(scale: float) -> str:
+    n, passes = _walk_params(scale)
+    values = _walk_values(n)
+    return f"""
+.data
+{dwords("arr", values)}
+.text
+_start:
+    la a0, arr
+    li s0, {n}
+    li s1, {passes}
+walk_pass:
+    beqz s1, walk_done
+    li t0, 0                  # i
+walk_loop:
+    bge t0, s0, walk_next
+    slli t1, t0, 3
+    add t1, a0, t1
+    ld t2, 0(t1)
+    andi t3, t2, 1
+    beqz t3, walk_even
+    srli t2, t2, 1            # odd: halve + offset
+    addi t2, t2, 1234
+    j walk_store
+walk_even:
+    addi t2, t2, 7            # even: small nudge
+walk_store:
+    sd t2, 0(t1)
+    addi t0, t0, 1
+    j walk_loop
+walk_next:
+    addi s1, s1, -1
+    j walk_pass
+walk_done:
+{_CHECKSUM_ASM}
+"""
+
+
+def _walk_exit(scale: float) -> int:
+    n, passes = _walk_params(scale)
+    arr = list(_walk_values(n))
+    for _ in range(passes):
+        for i in range(n):
+            v = arr[i]
+            arr[i] = (v >> 1) + 1234 if v & 1 else v + 7
+    return _weighted_checksum(arr)
+
+
+def _register_all() -> None:
+    specs = [
+        ("huge-stream", _stream_source, _stream_exit,
+         "long streaming read-read-write passes (memory-bound at scale)"),
+        ("huge-walk", _walk_source, _walk_exit,
+         "long data-dependent-branch walk (bad-speculation heavy)"),
+    ]
+    for name, builder, exit_fn, description in specs:
+        register(Workload(
+            name=name, category=HUGE_CATEGORY, source_builder=builder,
+            description=description, expected_exit=exit_fn))
+
+
+_register_all()
