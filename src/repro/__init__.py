@@ -26,4 +26,4 @@ Quickstart::
     print(report.render())
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"

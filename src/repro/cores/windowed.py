@@ -496,8 +496,13 @@ def assert_stitch_equivalent(stitched: CoreResult, oracle: CoreResult,
 # Parallel execution
 
 
-def _tick(progress: bool, message: str) -> None:
-    if progress:
+def _tick(progress, message: str) -> None:
+    # ``progress`` is either the CLI's boolean (print ticks to stderr)
+    # or a callable sink — the service streams per-window ticks to SSE
+    # subscribers by passing its event-journal hook here.
+    if callable(progress):
+        progress(message)
+    elif progress:
         print(message, file=sys.stderr, flush=True)
 
 

@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
+from .. import __version__
 from ..cores.base import resolve_timing_engine
 from ..reliability.breaker import CircuitBreaker
 from .job import (DEFAULT_PRIORITY, MAX_PRIORITY, GridJob, JobRecord,
@@ -43,6 +44,7 @@ from .job import (DEFAULT_PRIORITY, MAX_PRIORITY, GridJob, JobRecord,
 from .metrics import MetricsRegistry
 from .scheduler import JobScheduler, SubmitReceipt
 from .store import ResultStore
+from .stream import EventJournal
 from .workers import WorkerPool
 
 #: Fallback retry-after hint before any latency samples exist.
@@ -98,7 +100,8 @@ class TMAService:
                  metrics: Optional[MetricsRegistry] = None,
                  timing_engine: Optional[str] = None,
                  breaker_threshold: int = 3,
-                 breaker_cooldown: float = 30.0) -> None:
+                 breaker_cooldown: float = 30.0,
+                 shard=None) -> None:
         if record_retention < 1:
             raise ValueError("record_retention must be >= 1")
         if timing_engine is not None:
@@ -108,9 +111,17 @@ class TMAService:
         #: ``REPRO_TIMING_ENGINE`` in the worker process).  Engines are
         #: bit-identical, so this never changes job results or dedup.
         self.timing_engine = timing_engine
+        #: Shard identity (:class:`repro.service.shard.ShardInfo`) when
+        #: this instance serves one consistent-hash slice of the job-key
+        #: space; None for a plain single-node deployment.  Shards get
+        #: a per-shard drain-persistence file so clusters sharing one
+        #: cache directory never clobber each other's pending jobs.
+        self.shard = shard
         self.metrics = metrics or MetricsRegistry()
         self.scheduler = JobScheduler(capacity=queue_capacity)
-        self.store = ResultStore()
+        self.store = ResultStore(
+            instance=shard.id if shard is not None else None)
+        self.events = EventJournal()
         self.pool = WorkerPool(workers=workers, style=executor,
                                factory=executor_factory)
         #: Per-(workload, config) circuit breaker: a pair that keeps
@@ -194,6 +205,7 @@ class TMAService:
         with self._lock:
             self._in_flight += 1
         self.metrics.inc("jobs_executed")
+        self._emit(record, "running")
         allow_crash_hook = record.requeues == 0
         spec = record.job.runner_spec()
         if self.timing_engine is not None:
@@ -203,11 +215,22 @@ class TMAService:
             # so queue wait does not eat into the execution budget.
             spec = replace(spec, deadline=(record.started_at
                                            + record.job.deadline_seconds))
+        # Windowed jobs stream per-window ticks when the executor keeps
+        # the work in-process; progress callbacks cannot cross process
+        # or shard boundaries, so those deployments stream lifecycle
+        # events only.
+        progress = None
+        if spec.windows is not None and self.pool.supports_callbacks:
+            record_id = record.id
+            progress = (lambda message:
+                        self.events.append(record_id, "progress",
+                                           {"message": message}))
         try:
             future = self.pool.submit(spec,
                                       record.job.workload,
                                       record.job.config,
-                                      allow_crash_hook)
+                                      allow_crash_hook,
+                                      progress=progress)
         except Exception as exc:  # noqa: BLE001 - submission itself died
             self._finish_execution(record, error=exc)
             return
@@ -275,6 +298,24 @@ class TMAService:
             if amount:
                 self.metrics.inc(f"trace_cache_{key}", amount)
 
+    def _emit(self, record: JobRecord, event: str, **data: Any) -> None:
+        """Journal one lifecycle event for SSE subscribers."""
+        self.events.append(record.id, event,
+                           dict(data, job_key=record.job_key))
+
+    def _emit_terminal(self, record: JobRecord) -> None:
+        """Journal a record's terminal event, result payload included.
+
+        Streaming clients get the full result in the final frame, so a
+        successful stream never needs a follow-up status poll.
+        """
+        data: Dict[str, Any] = {"state": record.state}
+        if record.error:
+            data["error"] = record.error
+        if record.result is not None:
+            data["result"] = record.result
+        self._emit(record, record.state, **data)
+
     def _resolve(self, record: JobRecord, state: str,
                  result: Optional[Dict[str, Any]] = None,
                  error: Optional[str] = None) -> None:
@@ -286,6 +327,7 @@ class TMAService:
             target.finished_at = now
             target.result = result
             target.error = error
+            self._emit_terminal(target)
             latency = target.latency()
             if latency is not None:
                 self.metrics.observe("job_latency_seconds", latency)
@@ -333,6 +375,8 @@ class TMAService:
             self.metrics.inc("jobs_accepted")
             self.metrics.inc("cache_hits")
             self.metrics.inc("jobs_completed")
+            self._emit(record, "queued", client=client)
+            self._emit_terminal(record)
             latency = record.latency()
             if latency is not None:
                 self.metrics.observe("job_latency_seconds", latency)
@@ -343,11 +387,14 @@ class TMAService:
         receipt = self.scheduler.submit(record)
         if receipt.accepted:
             self.metrics.inc("jobs_accepted")
+            self._emit(record, "queued", client=client,
+                       coalesced_with=record.coalesced_with)
             if receipt.deduped:
                 self.metrics.inc("dedup_hits")
         else:
             self.metrics.inc("jobs_rejected")
             receipt.retry_after = self._retry_after_estimate()
+            self._emit_terminal(record)
         self._refresh_gauges()
         return receipt
 
@@ -426,6 +473,8 @@ class TMAService:
                 self.metrics.inc("cache_hits")
                 self.metrics.inc("jobs_completed")
                 self.metrics.inc("grid_points_cached")
+                self._emit(record, "queued", client=client)
+                self._emit_terminal(record)
                 latency = record.latency()
                 if latency is not None:
                     self.metrics.observe("job_latency_seconds", latency)
@@ -439,12 +488,16 @@ class TMAService:
             if accepted:
                 for receipt in receipts:
                     self.metrics.inc("jobs_accepted")
+                    self._emit(receipt.record, "queued", client=client,
+                               coalesced_with=receipt.record.coalesced_with)
                     if receipt.deduped:
                         self.metrics.inc("dedup_hits")
                         self.metrics.inc("grid_points_coalesced")
             else:
                 self.metrics.inc("jobs_rejected", len(queued))
                 self.metrics.inc("grids_rejected")
+                for record in queued:
+                    self._emit_terminal(record)
 
         with self._lock:
             self._grid_sequence += 1
@@ -546,6 +599,7 @@ class TMAService:
                     break
         for job_id in victims:
             del self._records[job_id]
+            self.events.discard(job_id)
         if victims:
             self.metrics.inc("records_evicted", len(victims))
 
@@ -607,15 +661,22 @@ class TMAService:
     def healthz(self) -> Dict[str, Any]:
         with self._lock:
             state = self._state
-        return {
+        payload = {
             "status": "ok" if state == "serving" else state,
             "state": state,
+            "version": __version__,
             "queue_depth": self.scheduler.queue_depth,
             "in_flight": self.in_flight,
             "workers": self.pool.workers,
-            "executor": self.pool.style,
+            "executor": self.pool.kind,
             "breaker_open": sorted(self.breaker.open_keys()),
         }
+        if self.shard is not None:
+            # Topology self-report: the gateway and the smoke harness
+            # assert shard identity and ring placement from here
+            # instead of guessing.
+            payload["shard"] = self.shard.to_payload()
+        return payload
 
     # ------------------------------------------------------------------
     # Drain and shutdown
@@ -658,6 +719,7 @@ class TMAService:
             persisted_jobs.append(record.job)
             for target in [record] + followers:
                 target.state = "requeued"
+                self._emit_terminal(target)
                 self.metrics.inc("jobs_persisted")
                 persisted_records += 1
         if persisted_jobs:
@@ -677,6 +739,11 @@ class TMAService:
             "completed": self.metrics.counter("jobs_completed"),
             "failed": self.metrics.counter("jobs_failed"),
             "accepted": self.metrics.counter("jobs_accepted"),
+            # Handoff manifest: a gateway removing this shard from the
+            # ring resubmits these payloads to the surviving owners, so
+            # a graceful leave rebalances pending work immediately
+            # instead of waiting for this node to restart.
+            "pending_jobs": [job.to_payload() for job in persisted_jobs],
         }
 
     def stop(self) -> None:

@@ -25,18 +25,40 @@ exactly these retry paths.
 from __future__ import annotations
 
 import json
+import os
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, Optional
 
 from ..chaos import injector as chaos
 from ..reliability.retry import RetryPolicy
+from .stream import TERMINAL_EVENTS, parse_sse
 
 #: Transport retry schedule: three tries, fast capped backoff.  Small
 #: enough that a genuinely-down service fails in well under a second.
 DEFAULT_CLIENT_RETRY_POLICY = RetryPolicy(
     max_attempts=3, base_delay=0.05, max_delay=0.5, multiplier=2.0)
+
+#: Environment override for the default request timeout (seconds).
+TIMEOUT_ENV = "REPRO_CLIENT_TIMEOUT"
+#: Environment override for the liveness-probe timeout (seconds).
+CONNECT_TIMEOUT_ENV = "REPRO_CLIENT_CONNECT_TIMEOUT"
+
+#: Built-in default when neither the constructor nor the environment
+#: picks a timeout.
+DEFAULT_TIMEOUT = 10.0
+
+
+def _env_timeout(name: str) -> Optional[float]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 class ServiceError(RuntimeError):
@@ -61,12 +83,30 @@ class JobRejected(ServiceError):
 
 
 class ServiceClient:
-    """Submit/poll helper bound to one service base URL."""
+    """Submit/poll/stream helper bound to one service base URL.
 
-    def __init__(self, base_url: str, timeout: float = 10.0,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+    Timeouts are configurable per client and through the environment
+    (``REPRO_CLIENT_TIMEOUT`` / ``REPRO_CLIENT_CONNECT_TIMEOUT``):
+    explicit constructor arguments win, the environment fills in the
+    rest, and ``connect_timeout`` falls back to ``timeout``.  The two
+    knobs exist because stdlib ``urllib`` has a single socket timeout:
+    ``timeout`` bounds ordinary request/response exchanges, while
+    ``connect_timeout`` bounds the cheap liveness probes
+    (:meth:`healthz`, :meth:`metrics`) where a hung connect should
+    fail fast — the gateway uses exactly that split when probing
+    shards.
+    """
+
+    def __init__(self, base_url: str, timeout: Optional[float] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 connect_timeout: Optional[float] = None) -> None:
         self.base_url = base_url.rstrip("/")
+        if timeout is None:
+            timeout = _env_timeout(TIMEOUT_ENV) or DEFAULT_TIMEOUT
         self.timeout = timeout
+        if connect_timeout is None:
+            connect_timeout = _env_timeout(CONNECT_TIMEOUT_ENV) or timeout
+        self.connect_timeout = connect_timeout
         self.retry_policy = retry_policy or DEFAULT_CLIENT_RETRY_POLICY
         self._request_sequence = 0
 
@@ -74,7 +114,8 @@ class ServiceClient:
 
     def _request_once(self, method: str, path: str,
                       body: Optional[Dict[str, Any]],
-                      attempt: int) -> Dict[str, Any]:
+                      attempt: int,
+                      timeout: Optional[float] = None) -> Dict[str, Any]:
         # Chaos transport seam.  The per-client request sequence is
         # part of the decision key, so a retried request draws a fresh
         # decision (a single flaky connection, not a permanently dead
@@ -96,8 +137,9 @@ class ServiceClient:
             self.base_url + path, data=data, method=method,
             headers={"Content-Type": "application/json"})
         try:
+            effective = timeout if timeout is not None else self.timeout
             with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
+                                        timeout=effective) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
             try:
@@ -113,7 +155,8 @@ class ServiceClient:
 
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None,
-                 idempotent: Optional[bool] = None) -> Dict[str, Any]:
+                 idempotent: Optional[bool] = None,
+                 timeout: Optional[float] = None) -> Dict[str, Any]:
         if idempotent is None:
             idempotent = method == "GET"
         attempts = self.retry_policy.max_attempts if idempotent else 1
@@ -125,7 +168,8 @@ class ServiceClient:
                 if pause > 0:
                     time.sleep(pause)
             try:
-                return self._request_once(method, path, body, attempt)
+                return self._request_once(method, path, body, attempt,
+                                          timeout=timeout)
             except ServiceError as exc:
                 if exc.status != 0 or not idempotent:
                     raise
@@ -204,9 +248,17 @@ class ServiceClient:
         return self._request("GET", f"/grids/{grid_id}")
 
     def wait_grid(self, grid_id: str, timeout: float = 120.0,
-                  poll: float = 0.05) -> Dict[str, Any]:
-        """Poll until every grid point reaches a terminal state."""
-        deadline = time.time() + timeout
+                  poll: float = 0.05,
+                  deadline: Optional[float] = None) -> Dict[str, Any]:
+        """Poll until every grid point reaches a terminal state.
+
+        ``deadline`` is an *absolute* ``time.time()`` cutoff that wins
+        over ``timeout`` — the same plumbing ``submit --deadline``
+        stamps onto jobs, so a CLI grid wait and the jobs it watches
+        share one wall-clock budget instead of two drifting ones.
+        """
+        if deadline is None:
+            deadline = time.time() + timeout
         terminal = ("done", "failed", "rejected")
         while True:
             payload = self.grid_status(grid_id)
@@ -215,13 +267,19 @@ class ServiceClient:
             if time.time() >= deadline:
                 raise TimeoutError(
                     f"grid {grid_id} still {payload['state']!r} "
-                    f"after {timeout:.1f}s")
+                    f"at deadline (timeout {timeout:.1f}s)")
             time.sleep(poll)
 
     def wait(self, job_id: str, timeout: float = 60.0,
-             poll: float = 0.05) -> Dict[str, Any]:
-        """Poll until the job reaches a terminal state (or timeout)."""
-        deadline = time.time() + timeout
+             poll: float = 0.05,
+             deadline: Optional[float] = None) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state (or timeout).
+
+        ``deadline`` (absolute, optional) wins over ``timeout`` — see
+        :meth:`wait_grid`.
+        """
+        if deadline is None:
+            deadline = time.time() + timeout
         terminal = ("done", "failed", "rejected", "requeued", "quarantined")
         while True:
             payload = self.status(job_id)
@@ -230,14 +288,65 @@ class ServiceClient:
             if time.time() >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {payload['state']!r} "
-                    f"after {timeout:.1f}s")
+                    f"at deadline (timeout {timeout:.1f}s)")
             time.sleep(poll)
 
+    def stream(self, job_id: str, last_event_id: int = 0,
+               reconnect: bool = True,
+               read_timeout: Optional[float] = None
+               ) -> Iterator[Dict[str, Any]]:
+        """Yield SSE lifecycle events for a job until its terminal event.
+
+        Events are ``{"id": seq, "event": name, "data": {...}}`` in
+        journal order: ``queued`` → ``running`` → ``progress``\\* →
+        one terminal event (whose data carries the full result), after
+        which the generator returns.  On a dropped connection the
+        client reconnects with the last seen sequence number
+        (``Last-Event-ID``), so resumed streams never replay events —
+        and never duplicate the terminal one.  Pass
+        ``reconnect=False`` to surface transport failures as
+        :class:`ServiceError` instead.
+        """
+        last = last_event_id
+        while True:
+            request = urllib.request.Request(
+                f"{self.base_url}/jobs/{job_id}/events?after={last}",
+                headers={"Accept": "text/event-stream",
+                         "Last-Event-ID": str(last)})
+            try:
+                timeout = (read_timeout if read_timeout is not None
+                           else self.timeout)
+                with urllib.request.urlopen(request,
+                                            timeout=timeout) as response:
+                    for event in parse_sse(response):
+                        last = max(last, int(event.get("id", 0)))
+                        yield event
+                        if event.get("event") in TERMINAL_EVENTS:
+                            return
+            except urllib.error.HTTPError as exc:
+                try:
+                    payload = json.loads(exc.read().decode("utf-8"))
+                except ValueError:
+                    payload = {"error": str(exc)}
+                raise ServiceError(exc.code, payload) from None
+            except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                if not reconnect:
+                    raise ServiceError(0, {"error": str(exc)}) from None
+                time.sleep(self.retry_policy.delay(
+                    0, salt=f"stream:{job_id}"))
+            # Server closed the stream without a terminal event (drain,
+            # relay hop died): reconnect and resume after `last`.
+            if not reconnect:
+                raise ServiceError(
+                    0, {"error": f"stream for {job_id} ended early"})
+
     def metrics(self) -> Dict[str, Any]:
-        return self._request("GET", "/metrics")
+        return self._request("GET", "/metrics",
+                             timeout=self.connect_timeout)
 
     def healthz(self) -> Dict[str, Any]:
-        return self._request("GET", "/healthz")
+        return self._request("GET", "/healthz",
+                             timeout=self.connect_timeout)
 
     def drain(self) -> Dict[str, Any]:
         # Draining twice is safe (the second is a no-op), so transport

@@ -1,0 +1,185 @@
+"""Consistent-hash ring: deterministic key → shard placement.
+
+The multi-node service tier routes every canonical job key
+(:meth:`repro.service.job.TMAJob.job_key`) through one of these rings
+to exactly one shard server, which is what keeps in-flight dedup
+*exact* under sharding: a duplicate submission hashes to the same
+shard, where the single-node scheduler coalesces it as usual.
+
+Placement must be stable across processes (the gateway, every shard,
+and the smoke harness each build their own ring from the same member
+list), so positions come from SHA-256 — never from Python's builtin
+``hash``, which is salted per process.  Each node projects ``vnodes``
+virtual points onto a 64-bit ring; a key is owned by the first virtual
+point at or after its own hash (wrapping).  Virtual points give the
+two properties the tests pin down:
+
+- **bounded churn** — adding or removing a node only moves keys
+  between that node and the ring neighbours of its virtual points;
+  every other key keeps its owner;
+- **balance** — with the default ``vnodes`` the largest shard's share
+  stays within 2x of uniform for small clusters (N ≤ 8).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Virtual points per node.  96 keeps the worst observed share within
+#: 2x of uniform for the cluster sizes the tests cover (N in {2,3,5,8})
+#: while keeping ring rebuilds trivially cheap.
+DEFAULT_VNODES = 96
+
+
+def stable_hash(value: str) -> int:
+    """64-bit position of *value* on the ring, stable across processes."""
+    digest = hashlib.sha256(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def ring_position(node: str) -> int:
+    """Position of a node's first virtual point (for healthz/topology)."""
+    return stable_hash(f"{node}#0")
+
+
+class HashRing:
+    """Mutable consistent-hash ring over named nodes."""
+
+    def __init__(self, nodes: Iterable[str] = (),
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        #: Sorted (position, node) pairs; ties break on the node name,
+        #: deterministically, because tuples compare lexicographically.
+        self._ring: List[Tuple[int, str]] = []
+        self._nodes: Dict[str, List[int]] = {}
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    # Membership
+
+    def add(self, node: str) -> None:
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            return
+        positions = [stable_hash(f"{node}#{i}") for i in range(self.vnodes)]
+        self._nodes[node] = positions
+        for position in positions:
+            bisect.insort(self._ring, (position, node))
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise KeyError(node)
+        del self._nodes[node]
+        self._ring = [entry for entry in self._ring if entry[1] != node]
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def positions(self, node: str) -> List[int]:
+        """All virtual-point positions of *node* (raises if absent)."""
+        return list(self._nodes[node])
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # ------------------------------------------------------------------
+    # Routing
+
+    def owner(self, key: str) -> str:
+        """The node that owns *key* (raises on an empty ring)."""
+        if not self._ring:
+            raise LookupError("hash ring has no nodes")
+        position = stable_hash(key)
+        index = bisect.bisect_left(self._ring, (position, ""))
+        if index == len(self._ring):
+            index = 0  # wrap past the top of the ring
+        return self._ring[index][1]
+
+    def owners(self, key: str, count: int) -> List[str]:
+        """Up to *count* distinct nodes walking clockwise from *key*.
+
+        The first entry is :meth:`owner`; the rest are the failover
+        order a caller should try when the owner is unreachable.
+        """
+        if not self._ring:
+            raise LookupError("hash ring has no nodes")
+        position = stable_hash(key)
+        index = bisect.bisect_left(self._ring, (position, ""))
+        found: List[str] = []
+        for step in range(len(self._ring)):
+            node = self._ring[(index + step) % len(self._ring)][1]
+            if node not in found:
+                found.append(node)
+                if len(found) >= count:
+                    break
+        return found
+
+    def assignment(self, keys: Iterable[str]) -> Dict[str, str]:
+        """key → owner for a batch (convenience for tests/smoke)."""
+        return {key: self.owner(key) for key in keys}
+
+    def shares(self, keys: Iterable[str]) -> Dict[str, float]:
+        """Fraction of *keys* owned per node (balance diagnostics)."""
+        counts: Dict[str, int] = {node: 0 for node in self._nodes}
+        total = 0
+        for key in keys:
+            counts[self.owner(key)] += 1
+            total += 1
+        if not total:
+            return {node: 0.0 for node in counts}
+        return {node: count / total for node, count in counts.items()}
+
+    def to_payload(self) -> Dict[str, object]:
+        """Topology document for healthz endpoints."""
+        return {
+            "vnodes": self.vnodes,
+            "nodes": {node: ring_position(node) for node in self.nodes},
+        }
+
+
+def parse_shard_spec(spec: str) -> Dict[str, str]:
+    """Parse ``"s1=http://h:p,s2=http://h:p"`` (or bare URLs) to id→url.
+
+    Bare URLs get ids ``shard-0``, ``shard-1``, … in listed order —
+    every participant must list shards in the same order for those
+    derived ids (and therefore ring placement) to agree, so named
+    entries are strongly preferred everywhere but throwaway scripts.
+    """
+    shards: Dict[str, str] = {}
+    for index, chunk in enumerate(part for part in spec.split(",") if part):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" in chunk and not chunk.startswith(("http://", "https://")):
+            shard_id, _, url = chunk.partition("=")
+            shard_id = shard_id.strip()
+        else:
+            shard_id, url = f"shard-{index}", chunk
+        url = url.strip().rstrip("/")
+        if not shard_id or not url:
+            raise ValueError(f"malformed shard spec entry {chunk!r}")
+        if shard_id in shards:
+            raise ValueError(f"duplicate shard id {shard_id!r}")
+        shards[shard_id] = url
+    if not shards:
+        raise ValueError("shard spec names no shards")
+    return shards
+
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "HashRing",
+    "parse_shard_spec",
+    "ring_position",
+    "stable_hash",
+]

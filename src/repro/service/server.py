@@ -28,11 +28,13 @@ from __future__ import annotations
 
 import json
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from .app import TMAService
 from .job import JobValidationError
+from .stream import sse_encode, sse_keepalive
 
 #: Submissions above this size are rejected outright (413): job
 #: payloads are a few hundred bytes, so anything huge is abuse/error.
@@ -152,10 +154,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path.startswith("/jobs/"):
-            job_id = self.path[len("/jobs/"):]
-            payload = self.service.status(job_id)
+            rest = self.path[len("/jobs/"):]
+            if rest.endswith("/events") or "/events?" in rest:
+                job_id, _, query = rest.partition("/events")
+                self._stream_events(job_id, query.lstrip("?"))
+                return
+            payload = self.service.status(rest)
             if payload is None:
-                self._send_json(404, {"error": f"unknown job {job_id!r}"})
+                self._send_json(404, {"error": f"unknown job {rest!r}"})
             else:
                 self._send_json(200, payload)
         elif self.path.startswith("/grids/"):
@@ -169,8 +175,75 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.service.metrics_snapshot())
         elif self.path == "/healthz":
             self._send_json(200, self.service.healthz())
+        elif self.path == "/admin/records":
+            # Topology audit surface: the shard smoke asserts "each job
+            # key observed on exactly one shard" from these summaries.
+            records = [
+                {"id": record.id, "job_key": record.job_key,
+                 "state": record.state, "client": record.client}
+                for record in self.service.records()
+            ]
+            self._send_json(200, {"records": records})
         else:
             self._send_json(404, {"error": f"no such endpoint {self.path}"})
+
+    # ------------------------------------------------------------------
+    # SSE streaming
+
+    def _stream_events(self, job_id: str, query: str) -> None:
+        """``GET /jobs/<id>/events``: stream lifecycle events as SSE.
+
+        The response is unframed (``Connection: close`` delimits the
+        body), because the journal produces events until a terminal
+        one and a streamed body cannot carry Content-Length.  Resume
+        semantics: ``?after=<seq>`` or the standard ``Last-Event-ID``
+        header skips events the client already saw — the terminal
+        event is therefore delivered exactly once per cursor.
+        """
+        after = 0
+        params = urllib.parse.parse_qs(query)
+        if params.get("after"):
+            try:
+                after = int(params["after"][0])
+            except ValueError:
+                self._send_json(400, {"error": "after must be an integer"})
+                return
+        elif self.headers.get("Last-Event-ID"):
+            try:
+                after = int(self.headers["Last-Event-ID"])
+            except ValueError:
+                after = 0
+        service = self.service
+        if (service.status(job_id) is None
+                and not service.events.known(job_id)):
+            self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        last = after
+        finished = False
+        try:
+            while not finished:
+                events = service.events.wait(job_id, after=last,
+                                             timeout=0.25)
+                if not events:
+                    if service.events.finished(job_id):
+                        break  # resumed past the terminal event
+                    self.wfile.write(sse_keepalive())
+                    self.wfile.flush()
+                    continue
+                for event in events:
+                    self.wfile.write(sse_encode(event))
+                    last = event.seq
+                    if event.terminal:
+                        finished = True
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            return  # client went away; it can resume from its cursor
 
 
 class ServiceServer(ThreadingHTTPServer):

@@ -23,14 +23,14 @@ import os
 import threading
 import time
 from concurrent.futures import BrokenExecutor, Future
-from typing import Optional
+from typing import Callable, Optional
 
 from ..chaos import injector as chaos
 from ..cores import resolve_config_spec
 from ..reliability.retry import RetryPolicy
 from ..reliability.runner import RunOutcome
-from ..tools.pool import (EXECUTOR_FACTORIES, ExecutorFactory, RunnerSpec,
-                          executor_factory, in_worker)
+from ..tools.pool import (ExecutorFactory, RunnerSpec, executor_factory,
+                          in_worker)
 
 #: Test hook: a pool worker about to execute this workload dies with
 #: ``os._exit``, simulating a segfaulting/OOM-killed worker process.
@@ -42,7 +42,9 @@ SUBMIT_RETRY_POLICY = RetryPolicy(max_attempts=2, base_delay=0.0)
 
 
 def execute_job(spec: RunnerSpec, workload: str, config_name: str,
-                allow_crash_hook: bool = True) -> RunOutcome:
+                allow_crash_hook: bool = True,
+                progress: Optional[Callable[[str], None]] = None
+                ) -> RunOutcome:
     """Run one job (in a pool worker or inline) and return its outcome.
 
     The runner resolves the functional trace through the shared
@@ -51,6 +53,10 @@ def execute_job(spec: RunnerSpec, workload: str, config_name: str,
     per worker at most, and usually zero times (disk hit on packed
     column bytes).  The per-run hit/miss delta rides home on
     ``RunOutcome.trace_cache`` for the service metrics registry.
+
+    ``progress`` is an optional per-window tick sink (windowed jobs
+    only).  It cannot cross a process boundary, so the pool forwards
+    it only on same-process executors; see :meth:`WorkerPool.submit`.
     """
     if allow_crash_hook and in_worker():
         if os.environ.get(CRASH_ENV) == workload:
@@ -61,7 +67,8 @@ def execute_job(spec: RunnerSpec, workload: str, config_name: str,
     if spec.scenario is not None:
         return _execute_multicore(spec)
     if spec.windows is not None:
-        return _execute_windowed(spec, workload, config_name)
+        return _execute_windowed(spec, workload, config_name,
+                                 progress=progress)
     # Accept grid point keys ("rocket+l1d=8KiB") as well as registry
     # names, so fanned-out grid jobs run through the same path.
     config = resolve_config_spec(config_name)
@@ -69,8 +76,9 @@ def execute_job(spec: RunnerSpec, workload: str, config_name: str,
     return runner.run_one(workload, config)
 
 
-def _execute_windowed(spec: RunnerSpec, workload: str,
-                      config_name: str) -> RunOutcome:
+def _execute_windowed(spec: RunnerSpec, workload: str, config_name: str,
+                      progress: Optional[Callable[[str], None]] = None
+                      ) -> RunOutcome:
     """Run one windowed job; the result summary rides the outcome.
 
     The job already executes inside a service pool worker, so the
@@ -93,7 +101,8 @@ def _execute_windowed(spec: RunnerSpec, workload: str,
         result = run_windowed(
             workload, config, windows=spec.windows, scale=spec.scale,
             warmup=spec.windows_warmup, sampled=spec.windows_sampled,
-            engine=spec.timing_engine, use_cache=spec.use_cache, workers=1)
+            engine=spec.timing_engine, use_cache=spec.use_cache, workers=1,
+            progress=progress if progress is not None else False)
         tma = compute_tma(result)
     except Exception as exc:  # noqa: BLE001 - reported on the outcome
         return RunOutcome(workload=workload, config_name=config_name,
@@ -167,12 +176,10 @@ class WorkerPool:
                  retry_policy: Optional[RetryPolicy] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        if factory is None and style not in EXECUTOR_FACTORIES:
-            raise ValueError(
-                f"unknown executor style {style!r}; "
-                f"choose from {sorted(EXECUTOR_FACTORIES)}")
         self.workers = workers
         self.style = style
+        # executor_factory() raises ValueError on unknown styles and
+        # lazily imports registered-on-first-use rungs ("shard").
         self._factory = factory or executor_factory(style)
         self.retry_policy = retry_policy or SUBMIT_RETRY_POLICY
         self._lock = threading.Lock()
@@ -188,8 +195,30 @@ class WorkerPool:
                 self._executor = self._factory(self.workers)
             return self._executor
 
+    @property
+    def kind(self) -> str:
+        """The ladder rung actually in use (falls back to the style).
+
+        Custom injected factories may build executors without a
+        ``kind`` attribute; the configured style is the honest answer
+        then.
+        """
+        executor = self._executor
+        return getattr(executor, "kind", None) or self.style
+
+    @property
+    def supports_callbacks(self) -> bool:
+        """True when submissions stay in-process (callables can ride).
+
+        Process and shard executors ship arguments across process or
+        machine boundaries, so live progress callbacks cannot follow;
+        thread and inline executors share the interpreter.
+        """
+        return self.kind in ("thread", "inline")
+
     def submit(self, spec: RunnerSpec, workload: str, config_name: str,
-               allow_crash_hook: bool = True) -> Future:
+               allow_crash_hook: bool = True,
+               progress=None) -> Future:
         # Submission retries follow the shared RetryPolicy: the pool
         # broke between jobs (a worker died idle, or a previous crash
         # poisoned it) — rebuild and resubmit, bounded by the policy's
@@ -203,8 +232,13 @@ class WorkerPool:
                 if pause > 0:
                     time.sleep(pause)
             try:
-                future = executor.submit(execute_job, spec, workload,
-                                         config_name, allow_crash_hook)
+                if progress is not None and self.supports_callbacks:
+                    future = executor.submit(execute_job, spec, workload,
+                                             config_name, allow_crash_hook,
+                                             progress)
+                else:
+                    future = executor.submit(execute_job, spec, workload,
+                                             config_name, allow_crash_hook)
             except (BrokenExecutor, RuntimeError) as exc:
                 last_exc = exc
                 with self._lock:

@@ -640,33 +640,18 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _serve_until_signal(server, on_stop) -> int:
+    """Run an HTTP server until SIGINT/SIGTERM, then shut down cleanly.
+
+    Signal handlers must stay trivial: drain() takes locks and joins
+    threads, neither of which is async-signal-safe to run inside a
+    handler (a SIGTERM landing mid-lock would deadlock the handler
+    against the interrupted frame).  The handler only sets an event;
+    the main thread performs the graceful drain + server shutdown.
+    """
     import signal
-
-    from ..service import TMAService, make_server
-
-    service = TMAService(workers=args.workers,
-                         queue_capacity=args.queue_size,
-                         executor=args.executor,
-                         record_retention=args.record_retention,
-                         timing_engine=args.timing_engine)
-    service.start(resume=not args.no_resume)
-    server = make_server(service, host=args.host, port=args.port,
-                         verbose=args.verbose)
-    host, port = server.server_address[:2]
-    print(f"repro-tma service on http://{host}:{port} "
-          f"(workers={args.workers}, executor={args.executor}, "
-          f"queue={args.queue_size})")
-    print("POST /jobs · GET /jobs/<id> · GET /metrics · GET /healthz · "
-          "POST /admin/drain")
-
     import threading
 
-    # Signal handlers must stay trivial: drain() takes locks and joins
-    # threads, neither of which is async-signal-safe to run inside a
-    # handler (a SIGTERM landing mid-lock would deadlock the handler
-    # against the interrupted frame).  The handler only sets an event;
-    # the main thread performs the graceful drain + server shutdown.
     stop = threading.Event()
 
     def _request_shutdown(signum, frame):  # noqa: ARG001 - signal API
@@ -682,18 +667,81 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     thread.start()
     while not stop.is_set() and thread.is_alive():
         stop.wait(timeout=0.5)
-    report = service.drain()
-    print(f"drained: {report}", file=sys.stderr)
+    on_stop()
     server.shutdown()
     thread.join(timeout=5.0)
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..service import TMAService, make_server
+
+    kwargs = dict(workers=args.workers,
+                  queue_capacity=args.queue_size,
+                  executor=args.executor,
+                  record_retention=args.record_retention,
+                  timing_engine=args.timing_engine)
+    if args.shard_id:
+        from ..service.shard import make_shard_service
+
+        service = make_shard_service(args.shard_id, **kwargs)
+    else:
+        service = TMAService(**kwargs)
+    service.start(resume=not args.no_resume)
+    server = make_server(service, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+    shard_note = f", shard={args.shard_id}" if args.shard_id else ""
+    print(f"repro-tma service on http://{host}:{port} "
+          f"(workers={args.workers}, executor={args.executor}, "
+          f"queue={args.queue_size}{shard_note})", flush=True)
+    print("POST /jobs · GET /jobs/<id> · GET /jobs/<id>/events · "
+          "GET /metrics · GET /healthz · POST /admin/drain", flush=True)
+
+    def _drain() -> None:
+        report = service.drain()
+        print(f"drained: {report}", file=sys.stderr)
+
+    return _serve_until_signal(server, _drain)
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import os
+
+    from ..service.gateway import Gateway, make_gateway_server
+    from ..service.shard import SHARDS_ENV
+
+    shards = args.shards or os.environ.get(SHARDS_ENV, "")
+    if not shards:
+        print(f"no shards: pass --shards or set {SHARDS_ENV}="
+              "\"s1=http://host:port,...\"", file=sys.stderr)
+        return 2
+    gateway = Gateway(shards)
+    server = make_gateway_server(gateway, host=args.host, port=args.port,
+                                 verbose=args.verbose)
+    host, port = server.server_address[:2]
+    members = ", ".join(f"{shard_id}={url}"
+                        for shard_id, url in sorted(gateway.urls.items()))
+    print(f"repro-tma gateway on http://{host}:{port} "
+          f"routing to [{members}]", flush=True)
+    print("POST /jobs|/multicore|/grids · GET /jobs/<id>[/events] · "
+          "GET /grids/<id> · GET /metrics · GET /healthz · "
+          "POST /admin/{join,leave,evict,drain}", flush=True)
+    return _serve_until_signal(server, lambda: None)
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
+    import time
+
     from ..service.client import JobRejected, ServiceClient, ServiceError
 
     client = ServiceClient(args.url, timeout=args.timeout)
     workloads = args.workload.split(",")
+    # One absolute wall-clock cutoff shared by every wait below, so a
+    # --deadline submission and the client watching it run on the same
+    # clock (the jobs themselves carry deadline_seconds server-side).
+    wait_deadline = (time.time() + args.deadline
+                     if args.deadline is not None else None)
     fields = {"config": args.config, "scale": args.scale,
               "client": args.client, "priority": args.priority,
               "use_cache": not args.no_cache}
@@ -722,9 +770,31 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 1
     if args.no_wait:
         return 0
+    if args.stream:
+        failed = 0
+        for receipt in receipts:
+            try:
+                for event in client.stream(receipt["id"]):
+                    name = event.get("event")
+                    data = event.get("data", {})
+                    if name == "progress":
+                        print(f"{receipt['id']} {data.get('message')}",
+                              file=sys.stderr)
+                    else:
+                        print(f"{receipt['id']} {name}"
+                              + (f" [{data.get('state')}]"
+                                 if name in ("failed", "rejected") else ""))
+                    if (name in ("failed", "rejected", "requeued",
+                                 "quarantined")):
+                        failed += 1
+            except ServiceError as exc:
+                print(f"stream failed: {exc}", file=sys.stderr)
+                failed += 1
+        return 1 if failed else 0
     failed = 0
     for receipt in receipts:
-        record = client.wait(receipt["id"], timeout=args.timeout)
+        record = client.wait(receipt["id"], timeout=args.timeout,
+                             deadline=wait_deadline)
         result = record.get("result") or {}
         if record["state"] == "done":
             tma = result.get("tma", {})
@@ -976,8 +1046,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--queue-size", type=int, default=256,
                          help="admission-queue bound (backpressure above)")
     p_serve.add_argument("--executor", default="process",
-                         choices=["process", "thread", "inline"],
-                         help="worker execution style")
+                         choices=["process", "thread", "inline", "shard"],
+                         help="worker execution style (shard: forward "
+                              "jobs to the REPRO_SHARDS cluster)")
+    p_serve.add_argument("--shard-id", default=None,
+                         help="serve as one member of a shard cluster: "
+                              "sets the shard identity reported by "
+                              "/healthz and namespaces the drain-"
+                              "persistence file")
     p_serve.add_argument("--record-retention", type=int, default=4096,
                          help="finished job records kept queryable "
                               "before the oldest are evicted")
@@ -1005,10 +1081,28 @@ def build_parser() -> argparse.ArgumentParser:
                           help="submit and exit without polling results")
     p_submit.add_argument("--deadline", type=float, default=None,
                           help="per-job execution budget in seconds, "
-                               "enforced by the service's workers")
+                               "enforced by the service's workers and "
+                               "shared by the client-side wait")
+    p_submit.add_argument("--stream", action="store_true",
+                          help="follow each job's SSE lifecycle stream "
+                               "instead of polling")
     _add_common(p_submit)
     _add_windowing(p_submit)
     p_submit.set_defaults(func=_cmd_submit)
+
+    p_gateway = sub.add_parser(
+        "gateway",
+        help="run the stateless multi-shard routing gateway")
+    p_gateway.add_argument("--host", default="127.0.0.1")
+    p_gateway.add_argument("--port", type=int, default=8320,
+                           help="TCP port (0 = ephemeral)")
+    p_gateway.add_argument("--shards", default=None,
+                           help="cluster spec "
+                                "\"s1=http://h:p,s2=http://h:p\" "
+                                "(default: REPRO_SHARDS)")
+    p_gateway.add_argument("--verbose", action="store_true",
+                           help="log every HTTP request to stderr")
+    p_gateway.set_defaults(func=_cmd_gateway)
 
     p_chaos = sub.add_parser(
         "chaos",

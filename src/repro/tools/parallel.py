@@ -63,7 +63,8 @@ from .checkpoint import (
     point_key,
     serialize_outcome,
 )
-from .pool import RunnerSpec, in_worker, process_executor_factory, worker_init
+from .pool import (RunnerSpec, executor_factory as resolve_executor_factory,
+                   in_worker, process_executor_factory, worker_init)
 
 CoreConfig = Union[RocketConfig, BoomConfig]
 
@@ -146,10 +147,16 @@ class ParallelSweepRunner:
     cache policy, events, scale); it runs serial shards directly and is
     distilled into a :class:`RunnerSpec` for pool workers.
 
-    ``executor_factory`` is injectable for tests: it receives the
-    worker count and must return a ``ProcessPoolExecutor``-compatible
-    context manager.  Any failure to build the pool or submit the
-    shards degrades to the serial sweep.
+    ``executor`` picks a rung of the shared executor ladder
+    (:mod:`repro.tools.pool`): ``process`` (the default),  ``thread``,
+    ``inline``, or ``shard`` — the last dispatches each grid shard to
+    a multi-node service cluster through
+    :class:`repro.service.shard.ShardExecutor` (``REPRO_SHARDS``).
+    ``executor_factory`` is injectable for tests and wins over
+    ``executor``: it receives the worker count and must return a
+    ``ProcessPoolExecutor``-compatible context manager.  Any failure
+    to build the pool or submit the shards degrades to the serial
+    sweep.
     """
 
     def __init__(
@@ -158,13 +165,16 @@ class ParallelSweepRunner:
         max_workers: Optional[int] = None,
         seed: int = 0,
         executor_factory=None,
+        executor: str = "process",
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.runner = runner or ResilientRunner()
         self.max_workers = max_workers or min(4, os.cpu_count() or 1)
         self.seed = seed
-        self.executor_factory = executor_factory or _default_executor_factory
+        self.executor = executor
+        self.executor_factory = (executor_factory
+                                 or resolve_executor_factory(executor))
 
     # ------------------------------------------------------------------
 

@@ -1,21 +1,40 @@
-"""Shared worker-pool plumbing: runner specs and executor factories.
+"""Shared worker-pool plumbing: runner specs and the executor ladder.
 
 Both the batch sweep engine (:mod:`repro.tools.parallel`) and the
 long-running analysis service (:mod:`repro.service`) execute
-:class:`~repro.reliability.runner.ResilientRunner` work inside a
-process pool.  This module is the single home for the pieces that
-setup requires, so neither side copy-pastes pool wiring:
+:class:`~repro.reliability.runner.ResilientRunner` work behind one
+executor interface.  This module is the single home for the pieces
+that setup requires, so neither side copy-pastes pool wiring:
 
 - :class:`RunnerSpec` — a picklable recipe for rebuilding a resilient
   runner inside a worker process (the runner itself may hold
   unpicklable harness state such as fault injectors);
 - :func:`worker_init` / :func:`in_worker` — pool-worker marking, used
   to confine crash-injection test hooks to real pool workers;
-- executor factories for the three execution styles a caller can ask
-  for: ``process`` (true parallelism, crash isolation), ``thread``
-  (cheap concurrency for I/O-light service deployments and tests), and
-  ``inline`` (synchronous execution in the submitting thread — serial
-  fallback and deterministic unit testing).
+- the **executor ladder**: every execution style a caller can ask for
+  sits behind the same ``submit``/``shutdown``/context-manager
+  contract, so swapping ``inline`` → ``process`` → ``shard`` is a
+  one-word configuration change, never a code change:
+
+  ========= ==========================================================
+  style     where the work runs
+  ========= ==========================================================
+  inline    synchronously in the submitting thread — serial fallback
+            and deterministic unit testing (:class:`InlineExecutor`)
+  thread    a thread pool — cheap concurrency for I/O-light service
+            deployments and tests (:class:`ThreadExecutor`)
+  process   a process pool — true parallelism with crash isolation
+            (:class:`ProcessExecutor`)
+  shard     a multi-node shard cluster over HTTP, routed by consistent
+            hash of the canonical job key
+            (:class:`repro.service.shard.ShardExecutor`)
+  ========= ==========================================================
+
+The ``shard`` rung cannot ship arbitrary closures to another machine,
+so remotable entry points register a *remote adapter* via
+:func:`register_remote`; a shard executor looks the adapter up by
+function identity and dispatches through it, and refuses anything
+unregistered instead of silently running it locally.
 """
 
 from __future__ import annotations
@@ -135,12 +154,33 @@ class RunnerSpec:
         )
 
 
-def process_executor_factory(workers: int) -> ProcessPoolExecutor:
-    return ProcessPoolExecutor(max_workers=workers, initializer=worker_init)
+# ---------------------------------------------------------------------------
+# The executor ladder
 
 
-def thread_executor_factory(workers: int) -> ThreadPoolExecutor:
-    return ThreadPoolExecutor(max_workers=workers)
+class ProcessExecutor(ProcessPoolExecutor):
+    """Process-pool rung: true parallelism, crash isolation.
+
+    A plain :class:`~concurrent.futures.ProcessPoolExecutor` with the
+    worker initializer pre-wired, so every rung of the ladder is
+    constructed the same way: ``Executor(workers)``.
+    """
+
+    kind = "process"
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(max_workers=workers, initializer=worker_init)
+        self.workers = workers
+
+
+class ThreadExecutor(ThreadPoolExecutor):
+    """Thread-pool rung: cheap concurrency, shared interpreter."""
+
+    kind = "thread"
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(max_workers=workers)
+        self.workers = workers
 
 
 class InlineExecutor:
@@ -150,6 +190,11 @@ class InlineExecutor:
     crash isolation.  Used as the serial fallback and in unit tests
     where scheduling order must be exact.
     """
+
+    kind = "inline"
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = workers
 
     def submit(self, fn, *args, **kwargs) -> "Future":
         future: Future = Future()
@@ -169,26 +214,73 @@ class InlineExecutor:
         self.shutdown()
 
 
+def process_executor_factory(workers: int) -> ProcessExecutor:
+    return ProcessExecutor(workers)
+
+
+def thread_executor_factory(workers: int) -> ThreadExecutor:
+    return ThreadExecutor(workers)
+
+
 def inline_executor_factory(workers: int) -> InlineExecutor:
-    del workers
-    return InlineExecutor()
+    return InlineExecutor(workers)
 
 
 ExecutorFactory = Callable[[int], ContextManager]
 
 #: Executor styles selectable by name (``repro-tma serve --executor``).
+#: The ``shard`` rung registers itself on import of
+#: :mod:`repro.service.shard`; :func:`executor_factory` triggers that
+#: import lazily so ``tools`` never hard-depends on the service tier.
 EXECUTOR_FACTORIES: Dict[str, ExecutorFactory] = {
     "process": process_executor_factory,
     "thread": thread_executor_factory,
     "inline": inline_executor_factory,
 }
 
+#: Styles provided by modules that register on first use.
+_LAZY_STYLES = {"shard": "repro.service.shard"}
+
+
+def register_executor(style: str, factory: ExecutorFactory) -> None:
+    """Register a ladder rung under *style* (idempotent overwrite)."""
+    EXECUTOR_FACTORIES[style] = factory
+
 
 def executor_factory(style: str) -> ExecutorFactory:
+    if style not in EXECUTOR_FACTORIES and style in _LAZY_STYLES:
+        import importlib
+
+        importlib.import_module(_LAZY_STYLES[style])
     try:
         return EXECUTOR_FACTORIES[style]
     except KeyError:
+        known = sorted(set(EXECUTOR_FACTORIES) | set(_LAZY_STYLES))
         raise ValueError(
-            f"unknown executor style {style!r}; "
-            f"choose from {sorted(EXECUTOR_FACTORIES)}"
+            f"unknown executor style {style!r}; choose from {known}"
         ) from None
+
+
+def make_executor(style: str, workers: int) -> ContextManager:
+    """Build one ladder rung by name: ``make_executor('process', 4)``."""
+    return executor_factory(style)(workers)
+
+
+# ---------------------------------------------------------------------------
+# Remote dispatch registry (the shard rung's contract)
+
+#: function → adapter.  An adapter has the signature
+#: ``adapter(executor, *args, **kwargs)`` and performs the remote
+#: equivalent of ``fn(*args, **kwargs)`` through the shard executor's
+#: routing/client machinery, returning the same result type.
+_REMOTE_ADAPTERS: Dict[Callable, Callable] = {}
+
+
+def register_remote(fn: Callable, adapter: Callable) -> None:
+    """Mark *fn* as remotable through the given adapter."""
+    _REMOTE_ADAPTERS[fn] = adapter
+
+
+def remote_adapter(fn: Callable) -> Optional[Callable]:
+    """The registered remote adapter for *fn*, or None."""
+    return _REMOTE_ADAPTERS.get(fn)

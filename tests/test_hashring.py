@@ -1,0 +1,165 @@
+"""Property tests for the consistent-hash ring.
+
+The ring is the multi-node tier's routing contract: placement must be
+deterministic across processes, balanced within 2x of uniform for the
+cluster sizes we deploy, and churn-bounded so a join/leave only moves
+keys to/from the affected shard.  These tests pin all three down with
+real canonical job keys, not synthetic strings, because those are the
+keys the gateway actually routes.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.service.hashring import (DEFAULT_VNODES, HashRing,
+                                    parse_shard_spec, ring_position,
+                                    stable_hash)
+from repro.service.job import GridJob, TMAJob
+
+KEYS = [f"job:vvadd+rocket+s{i}" for i in range(2000)]
+
+
+def _nodes(count):
+    return [f"shard-{index}" for index in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Determinism
+
+
+def test_stable_hash_is_sha_based_not_salted():
+    # Known-answer: first 8 bytes of sha256(b"vvadd"), big-endian.
+    import hashlib
+
+    digest = hashlib.sha256(b"vvadd").digest()
+    assert stable_hash("vvadd") == int.from_bytes(digest[:8], "big")
+
+
+def test_routing_is_stable_across_processes():
+    """A fresh interpreter (fresh hash salt) routes identically."""
+    ring = HashRing(_nodes(5))
+    job = TMAJob(workload="vvadd", config="rocket", scale=0.25)
+    grid = GridJob(workload="vvadd", grid="rocket,small-boom", vary=[],
+                   scale=0.25)
+    keys = KEYS[:50] + [job.job_key(), grid.grid_key()]
+    script = (
+        "import json, sys\n"
+        "from repro.service.hashring import HashRing\n"
+        "from repro.service.job import GridJob, TMAJob\n"
+        "ring = HashRing(['shard-%d' % i for i in range(5)])\n"
+        "keys = json.load(sys.stdin)\n"
+        "job = TMAJob(workload='vvadd', config='rocket', scale=0.25)\n"
+        "grid = GridJob(workload='vvadd', grid='rocket,small-boom',"
+        " vary=[], scale=0.25)\n"
+        "keys += [job.job_key(), grid.grid_key()]\n"
+        "json.dump(ring.assignment(keys), sys.stdout)\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script], input=json.dumps(KEYS[:50]),
+        capture_output=True, text=True, check=True)
+    assert json.loads(proc.stdout) == ring.assignment(keys)
+
+
+def test_canonical_job_keys_route_like_any_key():
+    """job_key()/grid_key() are plain strings to the ring — one owner,
+    and the owner is the head of the failover order."""
+    ring = HashRing(_nodes(3))
+    job = TMAJob(workload="spmv", config="small-boom", scale=0.5)
+    key = job.job_key()
+    assert ring.owner(key) == ring.owners(key, 3)[0]
+    assert len(set(ring.owners(key, 3))) == 3
+
+
+# ----------------------------------------------------------------------
+# Balance
+
+
+@pytest.mark.parametrize("count", [2, 3, 5, 8])
+def test_shares_within_2x_uniform(count):
+    ring = HashRing(_nodes(count))
+    shares = ring.shares(KEYS)
+    uniform = 1.0 / count
+    assert set(shares) == set(_nodes(count))
+    assert max(shares.values()) <= 2.0 * uniform
+    # And every shard owns *something* — no starved member.
+    assert min(shares.values()) > 0.0
+
+
+def test_vnodes_drive_balance():
+    """With one virtual point per node, balance is allowed to be bad —
+    the default vnode count is what buys the 2x bound above."""
+    assert DEFAULT_VNODES >= 64
+    ring = HashRing(_nodes(8), vnodes=DEFAULT_VNODES)
+    assert len(ring.positions("shard-0")) == DEFAULT_VNODES
+
+
+# ----------------------------------------------------------------------
+# Bounded churn
+
+
+@pytest.mark.parametrize("count", [2, 3, 5])
+def test_join_only_steals_keys_for_the_new_node(count):
+    before = HashRing(_nodes(count)).assignment(KEYS)
+    grown = HashRing(_nodes(count))
+    grown.add("joiner")
+    after = grown.assignment(KEYS)
+    moved = {key for key in KEYS if before[key] != after[key]}
+    # Every moved key landed on the joiner; nobody else swapped keys.
+    assert all(after[key] == "joiner" for key in moved)
+    # And the joiner actually took a meaningful slice.
+    assert len(moved) > 0
+
+
+@pytest.mark.parametrize("count", [3, 5, 8])
+def test_leave_only_moves_the_leavers_keys(count):
+    ring = HashRing(_nodes(count))
+    before = ring.assignment(KEYS)
+    ring.remove("shard-0")
+    after = ring.assignment(KEYS)
+    moved = {key for key in KEYS if before[key] != after[key]}
+    assert moved == {key for key in KEYS if before[key] == "shard-0"}
+
+
+def test_failover_order_matches_post_removal_owner():
+    """owners()[1] is exactly where the key lands if the owner dies."""
+    ring = HashRing(_nodes(5))
+    for key in KEYS[:200]:
+        first, second = ring.owners(key, 2)
+        survivor = HashRing(_nodes(5))
+        survivor.remove(first)
+        assert survivor.owner(key) == second
+
+
+# ----------------------------------------------------------------------
+# Membership / spec parsing
+
+
+def test_add_is_idempotent_and_remove_raises_on_absent():
+    ring = HashRing(["a", "b"])
+    ring.add("a")
+    assert len(ring) == 2
+    with pytest.raises(KeyError):
+        ring.remove("zz")
+    assert "a" in ring and "zz" not in ring
+
+
+def test_to_payload_reports_first_vnode_positions():
+    ring = HashRing(["a", "b"])
+    payload = ring.to_payload()
+    assert payload["vnodes"] == DEFAULT_VNODES
+    assert payload["nodes"] == {"a": ring_position("a"),
+                                "b": ring_position("b")}
+
+
+def test_parse_shard_spec_named_and_bare():
+    named = parse_shard_spec("s1=http://h:1,s2=http://h:2/")
+    assert named == {"s1": "http://h:1", "s2": "http://h:2"}
+    bare = parse_shard_spec("http://h:1,http://h:2")
+    assert bare == {"shard-0": "http://h:1", "shard-1": "http://h:2"}
+    with pytest.raises(ValueError):
+        parse_shard_spec("s1=http://h:1,s1=http://h:2")
+    with pytest.raises(ValueError):
+        parse_shard_spec("")
